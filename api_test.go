@@ -1,0 +1,164 @@
+// Public API tests: everything a downstream user touches goes through the
+// eventlens facade, so these tests double as documentation of the supported
+// surface and as a guard against accidentally breaking it.
+package eventlens_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	bench, err := eventlens.BenchmarkByName("cpu-flops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, set, err := bench.Analyze(eventlens.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Platform != "spr-sim" {
+		t.Fatalf("platform = %q", set.Platform)
+	}
+	if len(res.SelectedEvents) != 8 {
+		t.Fatalf("selected %d events", len(res.SelectedEvents))
+	}
+	var dpOps *eventlens.MetricDefinition
+	for _, sig := range eventlens.CPUFlopsSignatures() {
+		if sig.Name == "DP Ops." {
+			dpOps, err = res.DefineMetric(sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if dpOps == nil || !dpOps.Composable(1e-6) {
+		t.Fatalf("DP Ops should compose via the public API")
+	}
+}
+
+func TestPublicPlatformConstructors(t *testing.T) {
+	for _, mk := range []func() (*eventlens.Platform, error){
+		eventlens.SapphireRapids, eventlens.MI250X, eventlens.Zen4,
+	} {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Catalog.Len() == 0 {
+			t.Fatalf("%s: empty catalog", p.Name)
+		}
+	}
+}
+
+func TestPublicCustomAnalysis(t *testing.T) {
+	// The customarch flow: user-defined basis, measurements, pipeline.
+	basis, err := eventlens.NewBasis(
+		[]string{"X"},
+		[]string{"k1", "k2"},
+		eventlens.MatrixFromColumns([][]float64{{10, 20}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := eventlens.NewMeasurementSet("custom", "p", []string{"k1", "k2"})
+	for r := 0; r < 2; r++ {
+		if err := set.Add("RAW", eventlens.Measurement{Rep: r, Vector: []float64{30, 60}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipe := &eventlens.Pipeline{Basis: basis, Config: eventlens.Config{
+		Tau: 1e-8, Alpha: 1e-3, ProjectionTol: 1e-2, RoundTol: 0.05,
+	}}
+	res, err := pipe.Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := res.DefineMetric(eventlens.Signature{Name: "X.", Coeffs: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RAW = 3x the ideal, so the metric is RAW/3.
+	if math.Abs(def.Terms[0].Coeff-1.0/3) > 1e-12 {
+		t.Fatalf("coefficient = %v want 1/3", def.Terms[0].Coeff)
+	}
+}
+
+func TestPublicNoiseUtilities(t *testing.T) {
+	vectors := [][]float64{{1, 1}, {1.01, 0.99}}
+	if v := eventlens.MaxRNMSE(vectors); math.Abs(v-0.01) > 1e-12 {
+		t.Fatalf("MaxRNMSE = %v", v)
+	}
+	if v := eventlens.MaxCV([][]float64{{1, 2}, {1, 2}}); v != 0 {
+		t.Fatalf("MaxCV = %v", v)
+	}
+	if v := eventlens.MaxPairwiseMAD(vectors); v <= 0 {
+		t.Fatalf("MaxPairwiseMAD = %v", v)
+	}
+	s := eventlens.SuggestTau([]eventlens.EventVariability{
+		{MaxRNMSE: 0}, {MaxRNMSE: 0}, {MaxRNMSE: 0.1},
+	})
+	if s.Tau <= 0 {
+		t.Fatalf("SuggestTau = %+v", s)
+	}
+}
+
+func TestPublicQRCPUtilities(t *testing.T) {
+	if eventlens.Score(0.5) != 2 || eventlens.RoundToGrid(1.0002, 5e-4) != 1 {
+		t.Fatalf("score/rounding utilities broken")
+	}
+	x := eventlens.MatrixFromColumns([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	res := eventlens.SpecializedQRCP(x, 1e-4)
+	if res.Rank != 2 {
+		t.Fatalf("rank = %d", res.Rank)
+	}
+}
+
+func TestPublicPresetFlow(t *testing.T) {
+	bench, err := eventlens.BenchmarkByName("branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := bench.Analyze(eventlens.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := res.DefineMetrics(eventlens.BranchSignatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := eventlens.FormatPresets(defs, 0.05, 1e-6)
+	if !strings.Contains(out, "PRESET,PAPI_MISPREDICTED_BRANCHES,") {
+		t.Fatalf("preset output missing mispredicted branches:\n%s", out)
+	}
+	if !strings.Contains(out, "# PAPI_CONDITIONAL_BRANCHES_EXECUTED not composable") {
+		t.Fatalf("non-composable comment missing:\n%s", out)
+	}
+	// Every emitted preset must evaluate.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "PRESET,") {
+			continue
+		}
+		parts := strings.SplitN(line, ",", 5)
+		events := strings.Split(parts[4], ",")
+		vals := make([]float64, len(events))
+		for i := range vals {
+			vals[i] = float64(i + 1)
+		}
+		if _, err := eventlens.EvalPostfix(parts[3], vals); err != nil {
+			t.Fatalf("preset %s does not evaluate: %v", parts[1], err)
+		}
+	}
+}
+
+func TestPublicSignatureTablesComplete(t *testing.T) {
+	if len(eventlens.CPUFlopsSignatures()) != 6 ||
+		len(eventlens.GPUFlopsSignatures()) != 6 ||
+		len(eventlens.BranchSignatures()) != 7 ||
+		len(eventlens.CacheSignatures()) != 6 {
+		t.Fatalf("signature table sizes changed")
+	}
+}

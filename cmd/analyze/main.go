@@ -1,0 +1,188 @@
+// Command analyze runs the full event-analysis pipeline on a measurement
+// file produced by cmd/catrun (or collects measurements itself when given
+// -bench instead of -in): noise filtering, expectation-basis projection, the
+// specialized QRCP, and least-squares metric definition.
+//
+// Usage:
+//
+//	analyze -in cpu-flops.json.gz -bench cpu-flops
+//	analyze -bench branch            (collect and analyze in one step)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/catio"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/suite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+	in := flag.String("in", "", "measurement file from catrun (optional)")
+	benchName := flag.String("bench", "", "benchmark whose basis/thresholds/signatures to use")
+	tau := flag.Float64("tau", 0, "override noise threshold tau")
+	alpha := flag.Float64("alpha", 0, "override QRCP tolerance alpha")
+	rounded := flag.Bool("rounded", false, "also print integer-rounded combinations")
+	autoTau := flag.Bool("autotau", false, "select tau automatically from the variability gap")
+	sensitivity := flag.Bool("sensitivity", false, "sweep alpha over 1e-5..1e-1 and report selection stability (Section V-E)")
+	presets := flag.Bool("presets", false, "emit PAPI-style preset definitions for the composable metrics")
+	explain := flag.String("explain", "", "explain what a raw event measures in the benchmark's basis ('all' for every kept event)")
+	ratios := flag.Bool("ratios", false, "also derive the benchmark's standard ratio metrics")
+	flag.Parse()
+
+	if *benchName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bench, err := suite.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bench.Config
+	if *tau > 0 {
+		cfg.Tau = *tau
+	}
+	if *alpha > 0 {
+		cfg.Alpha = *alpha
+	}
+
+	var set *core.MeasurementSet
+	if *in != "" {
+		set, err = catio.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if set.Benchmark != bench.Name {
+			log.Fatalf("measurement file holds %q data, benchmark is %q", set.Benchmark, bench.Name)
+		}
+	} else {
+		platform, err := bench.NewPlatform()
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, err = bench.Run(platform, cat.RunConfig(bench.DefaultRun))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	basis, err := bench.Basis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *autoTau {
+		// Run a preliminary noise pass and pick tau from the widest gap in
+		// the variability spectrum.
+		pre := core.FilterNoise(set, cfg.Tau)
+		s := core.SuggestTau(pre.Variabilities)
+		fmt.Printf("auto tau: %.3e (gap of %.1f decades, %d events below, %d above)\n",
+			s.Tau, s.GapDecades, s.Below, s.Above)
+		cfg.Tau = s.Tau
+	}
+	pipe := &core.Pipeline{Basis: basis, Config: cfg}
+	res, err := pipe.Analyze(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *explain != "" {
+		fmt.Println("event explanations (in the basis:", basis.Names, "):")
+		names := res.Noise.KeptOrder
+		if *explain != "all" {
+			names = []string{*explain}
+		}
+		for _, name := range names {
+			m, ok := res.Noise.Kept[name]
+			if !ok {
+				log.Fatalf("event %q not among the kept events (noisy, all-zero, or unknown)", name)
+			}
+			e, err := core.ExplainEvent(basis, name, m, cfg.Alpha, cfg.ProjectionTol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(" ", e)
+		}
+		fmt.Println()
+	}
+	if *sensitivity {
+		sweep := core.DecadeSweep(1e-5, 1e-1, 9)
+		sens, err := core.AlphaSensitivity(res.Projection.X, res.Projection.Order, sweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(sens)
+	}
+
+	fmt.Print(core.FormatNoiseSummary(res.Noise))
+	fmt.Printf("projection: %d events representable, %d dropped (tol %.0e)\n",
+		len(res.Projection.Order), len(res.Projection.Dropped), cfg.ProjectionTol)
+	fmt.Print(core.FormatSelection(res))
+	fmt.Println()
+
+	defs, err := res.DefineMetrics(bench.Signatures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatMetricTable(fmt.Sprintf("metric definitions (paper Table %s):", bench.MetricTable), defs))
+	if *rounded {
+		fmt.Println()
+		roundedDefs := make([]*core.MetricDefinition, len(defs))
+		for i, d := range defs {
+			roundedDefs[i] = d.Rounded(cfg.RoundTol)
+		}
+		fmt.Print(core.FormatMetricTable("integer-rounded combinations:", roundedDefs))
+	}
+	if *presets {
+		fmt.Println()
+		fmt.Printf("# auto-generated presets for %s (%s benchmark)\n", set.Platform, bench.Name)
+		fmt.Print(core.FormatPresets(defs, cfg.RoundTol, 1e-6))
+	}
+	if *ratios {
+		fmt.Println()
+		fmt.Println("derived ratio metrics:")
+		printRatios(bench.Name, defs, cfg.RoundTol)
+	}
+}
+
+// ratioSpecs names the standard ratio metrics per benchmark, as
+// numerator/denominator metric names from the benchmark's signature table.
+var ratioSpecs = map[string][][3]string{
+	"branch": {
+		{"Branch Misprediction Ratio", "Mispredicted Branches.", "Conditional Branches Retired."},
+		{"Taken Ratio", "Conditional Branches Taken.", "Conditional Branches Retired."},
+	},
+	"dcache": {
+		{"L1 Miss Ratio", "L1 Misses.", "L1 Reads."},
+		{"L2 Miss Ratio", "L2 Misses.", "L1 Misses."},
+	},
+	"cpu-flops": {
+		{"DP Fraction of Ops", "DP Ops.", "SP Ops."},
+	},
+}
+
+// printRatios derives and renders the benchmark's standard ratio metrics.
+func printRatios(benchName string, defs []*core.MetricDefinition, roundTol float64) {
+	byName := map[string]*core.MetricDefinition{}
+	for _, d := range defs {
+		byName[d.Metric] = d.Rounded(roundTol)
+	}
+	specs, ok := ratioSpecs[benchName]
+	if !ok {
+		fmt.Println("  (no standard ratios defined for this benchmark)")
+		return
+	}
+	for _, spec := range specs {
+		num, den := byName[spec[1]], byName[spec[2]]
+		ratio, err := core.NewRatioMetric(spec[0], num, den)
+		if err != nil {
+			fmt.Printf("  %s: %v\n", spec[0], err)
+			continue
+		}
+		fmt.Printf("  %s\n    events needed: %d\n", ratio, len(ratio.Events()))
+	}
+}

@@ -1,0 +1,79 @@
+// Command avail lists the raw events of a simulated platform — the analog
+// of papi_avail / papi_native_avail for this repository's machines.
+//
+// Usage:
+//
+//	avail -platform spr                  (all events)
+//	avail -platform mi250x -grep VALU    (filtered)
+//	avail -platform zen4 -counts         (catalog statistics only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("avail: ")
+	platformName := flag.String("platform", "spr", "platform: spr, mi250x, zen4")
+	grep := flag.String("grep", "", "only list events whose name contains this substring")
+	counts := flag.Bool("counts", false, "print catalog statistics only")
+	flag.Parse()
+
+	var (
+		p   *machine.Platform
+		err error
+	)
+	switch *platformName {
+	case "spr":
+		p, err = machine.SapphireRapids()
+	case "mi250x":
+		p, err = machine.MI250X()
+	case "zen4":
+		p, err = machine.Zen4()
+	default:
+		log.Fatalf("unknown platform %q (have spr, mi250x, zen4)", *platformName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := p.Catalog.SortedNames()
+	if *counts {
+		noisy, exact := 0, 0
+		for _, name := range names {
+			def, _ := p.Catalog.Lookup(name)
+			if def.RelNoise > 0 || def.AbsNoise > 0 {
+				noisy++
+			} else {
+				exact++
+			}
+		}
+		fmt.Printf("%s: %d events (%d deterministic, %d noisy), %d programmable counters, %d counter constraints\n",
+			p.Name, len(names), exact, noisy, p.Counters, len(p.Constraints))
+		return
+	}
+	shown := 0
+	for _, name := range names {
+		if *grep != "" && !strings.Contains(name, *grep) {
+			continue
+		}
+		def, _ := p.Catalog.Lookup(name)
+		noise := "deterministic"
+		if def.RelNoise > 0 {
+			noise = fmt.Sprintf("noise %.1e", def.RelNoise)
+		}
+		constraint := ""
+		if c, ok := p.Constraints[name]; ok && c.Fixed >= 0 {
+			constraint = fmt.Sprintf("  [fixed counter %d]", c.Fixed)
+		}
+		fmt.Printf("%-56s %-14s %s%s\n", name, noise, def.Desc, constraint)
+		shown++
+	}
+	fmt.Printf("-- %d of %d events\n", shown, len(names))
+}

@@ -1,0 +1,79 @@
+// Command catrun executes one CAT benchmark on its simulated platform and
+// writes the raw-event measurements to a JSON file (optionally gzipped) for
+// offline analysis with cmd/analyze.
+//
+// Usage:
+//
+//	catrun -bench cpu-flops -out cpu-flops.json.gz [-reps 5] [-threads 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/catio"
+	"github.com/perfmetrics/eventlens/internal/suite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("catrun: ")
+	benchName := flag.String("bench", "", "benchmark to run: "+strings.Join(suite.Names(), ", "))
+	out := flag.String("out", "", "output path (.json or .json.gz)")
+	reps := flag.Int("reps", 0, "repetitions (default: benchmark-specific)")
+	threads := flag.Int("threads", 0, "measuring threads (default: benchmark-specific)")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	csvOut := flag.String("csv", "", "also export measurements as CSV to this path")
+	flag.Parse()
+
+	if *list {
+		for _, b := range suite.All() {
+			fmt.Printf("%-10s %s (Table %s, Figure %s)\n", b.Name, b.Description, b.MetricTable, b.Figure)
+		}
+		return
+	}
+	if *benchName == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bench, err := suite.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bench.DefaultRun
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *threads > 0 {
+		cfg.Threads = *threads
+	}
+	platform, err := bench.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("running %s on %s (%d events, %d reps, %d threads)",
+		bench.Name, platform.Name, platform.Catalog.Len(), cfg.Reps, cfg.Threads)
+	set, err := bench.Run(platform, cat.RunConfig{Reps: cfg.Reps, Threads: cfg.Threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := catio.WriteFile(*out, set); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d events x %d points to %s", len(set.Order), len(set.PointNames), *out)
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := catio.WriteCSV(f, set); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote CSV export to %s", *csvOut)
+	}
+}

@@ -1,0 +1,147 @@
+// Command figures regenerates the paper's figures as ASCII plots plus CSV
+// data:
+//
+//	Figure 2a-2d — sorted max-RNMSE event variabilities per benchmark, with
+//	               the tau threshold line
+//	Figure 3     — data-cache metric approximations: raw-event combinations
+//	               vs. metric signatures across the pointer-chase sweep
+//
+// Usage:
+//
+//	figures                 (all figures)
+//	figures -fig 2a         (one variability figure)
+//	figures -fig 3          (the cache approximation figures)
+//	figures -csv            (emit CSV instead of ASCII plots)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/cpusim"
+	"github.com/perfmetrics/eventlens/internal/suite"
+	"github.com/perfmetrics/eventlens/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	fig := flag.String("fig", "", "figure to regenerate: 1, 2a, 2b, 2c, 2d, 3 (default all)")
+	csv := flag.Bool("csv", false, "emit CSV data instead of ASCII plots")
+	flag.Parse()
+
+	if *fig == "" || *fig == "1" {
+		figure1()
+	}
+	for _, bench := range suite.All() {
+		if *fig == "" || *fig == bench.Figure {
+			figure2(bench, *csv)
+		}
+	}
+	if *fig == "" || *fig == "3" {
+		figure3(*csv)
+	}
+}
+
+// figure1 renders the structure of the K_SCAL microkernel (the paper's
+// Figure 1): three loop blocks with known instruction counts.
+func figure1() {
+	spec := cpusim.FlopsKernelSpec{Prec: cpusim.DP, Width: cpusim.Scalar}
+	kernel := cpusim.BuildFlopsKernel(spec)
+	exp := cpusim.ExpectedFPInstrs(spec)
+	fmt.Printf("Figure 1: double-precision scalar floating-point kernel, K_SCAL (%s)\n", kernel.Name)
+	for i, block := range kernel.Blocks {
+		fmt.Printf("  +--------------------------------------+\n")
+		fmt.Printf("  | Block x%-3d times                     |\n", block.Trips)
+		fmt.Printf("  | Body: %d FP instrs -> %3.0f DP scalar   |\n", len(block.Body), exp[i])
+		fmt.Printf("  |       instructions per loop          |\n")
+		fmt.Printf("  +--------------------------------------+\n")
+	}
+	fmt.Println()
+}
+
+// figure2 renders one panel of Figure 2: sorted event variabilities.
+func figure2(bench suite.Benchmark, csv bool) {
+	platform, err := bench.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := bench.Run(platform, cat.RunConfig(bench.DefaultRun))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := core.FilterNoise(set, bench.Config.Tau)
+	sorted := report.SortedVariabilities()
+	title := fmt.Sprintf("Figure %s: sorted event variabilities (CAT %s benchmark, %s)",
+		bench.Figure, bench.Name, platform.Name)
+	if csv {
+		fmt.Println(title)
+		fmt.Println("index,event,max_rnmse")
+		for i, v := range sorted {
+			fmt.Printf("%d,%s,%g\n", i, v.Event, v.MaxRNMSE)
+		}
+		fmt.Println()
+		return
+	}
+	values := make([]float64, len(sorted))
+	for i, v := range sorted {
+		values[i] = v.MaxRNMSE
+	}
+	fmt.Print(textplot.LogScatter(title, values, bench.Config.Tau, 70, 16))
+	fmt.Println()
+}
+
+// figure3 renders the six cache-metric approximation panels.
+func figure3(csv bool) {
+	bench, err := suite.ByName("dcache")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := bench.Analyze(cat.RunConfig(bench.DefaultRun))
+	if err != nil {
+		log.Fatal(err)
+	}
+	basis, err := bench.Basis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := make([]string, len(basis.PointNames))
+	copy(labels, basis.PointNames)
+	for _, sig := range core.CacheSignatures() {
+		def, err := res.DefineMetric(sig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rounded := def.Rounded(bench.Config.RoundTol)
+		combo, err := rounded.Combine(res.Noise.Kept)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := basis.Expand(sig.Coeffs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Figure 3: %s from raw events (CAT data cache benchmark)", sig.Name)
+		if csv {
+			fmt.Println(title)
+			fmt.Println("point,combination,signature")
+			for i := range combo {
+				fmt.Printf("%s,%g,%g\n", labels[i], combo[i], want[i])
+			}
+			fmt.Println()
+			continue
+		}
+		fmt.Print(textplot.Series(title, combo, want, labels, 70, 10))
+		fmt.Printf("  combination: ")
+		for i, t := range rounded.NonZeroTerms() {
+			if i > 0 {
+				fmt.Printf(" + ")
+			}
+			fmt.Printf("%g x %s", t.Coeff, t.Event)
+		}
+		fmt.Printf("   (error %.3g)\n\n", def.BackwardError)
+	}
+}

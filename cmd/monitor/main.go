@@ -1,0 +1,133 @@
+// Command monitor is a miniature profiler built on auto-derived metric
+// presets — the downstream consumer the paper's introduction motivates.
+// It derives (or loads) PAPI-style presets for the simulated Sapphire
+// Rapids, runs a workload on the CPU simulator, programs only the raw
+// events the presets reference (in constraint-aware multiplexing rounds),
+// and reports the metric values.
+//
+// Usage:
+//
+//	monitor -workload triad
+//	monitor -workload mixed -n 1000
+//	monitor -workload stencil -presets presets.txt   (use saved presets)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/cpusim"
+	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/suite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("monitor: ")
+	workload := flag.String("workload", "triad", "workload: triad, daxpy, stencil, dot, mixed")
+	n := flag.Int("n", 500, "workload size (loop trips)")
+	presetsPath := flag.String("presets", "", "load presets from a file (default: derive from the CAT benchmark)")
+	flag.Parse()
+
+	kernel := buildWorkload(*workload, *n)
+	if kernel == nil {
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	presets, err := loadOrDerivePresets(*presetsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform, err := machine.SapphireRapids()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Union of events the presets need, and the multiplexing plan.
+	seen := map[string]bool{}
+	var events []string
+	for _, p := range presets {
+		for _, e := range p.Events {
+			if !seen[e] {
+				seen[e] = true
+				events = append(events, e)
+			}
+		}
+	}
+	groups := platform.Groups(events)
+	fmt.Printf("monitoring %d events for %d presets in %d multiplexing round(s)\n\n",
+		len(events), len(presets), len(groups))
+
+	// Run the workload and measure.
+	counts := cpusim.DefaultCore().Run(kernel)
+	stats := cat.CPUStats(counts)
+	vectors, err := platform.Measure([]machine.Stats{stats}, events, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate every preset.
+	fmt.Printf("workload %s (n=%d):\n", kernel.Name, *n)
+	for _, p := range presets {
+		vals := make([]float64, len(p.Events))
+		for i, e := range p.Events {
+			vals[i] = vectors[e][0]
+		}
+		v, err := p.Evaluate(vals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s %12.0f\n", p.Name, v)
+	}
+
+	// Ground truth for the FLOP presets, straight from the simulator.
+	dp, sp := cpusim.TrueOps(counts)
+	fmt.Printf("\nsimulator ground truth: DP ops %0.f, SP ops %0.f, instructions %d\n",
+		dp, sp, counts.Instructions)
+}
+
+// buildWorkload selects a kernel from the workload library.
+func buildWorkload(name string, n int) *cpusim.Kernel {
+	switch name {
+	case "triad":
+		return cpusim.TriadKernel(n)
+	case "daxpy":
+		return cpusim.DaxpyKernel(n)
+	case "stencil":
+		return cpusim.StencilKernel(n)
+	case "dot":
+		return cpusim.DotKernel(n)
+	case "mixed":
+		return cpusim.MixedPrecisionKernel(n)
+	}
+	return nil
+}
+
+// loadOrDerivePresets reads presets from a file, or runs the CAT CPU-FLOPs
+// analysis to derive them fresh.
+func loadOrDerivePresets(path string) ([]*core.Preset, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return core.ParsePresets(string(data))
+	}
+	bench, err := suite.ByName("cpu-flops")
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := bench.Analyze(cat.RunConfig(bench.DefaultRun))
+	if err != nil {
+		return nil, err
+	}
+	defs, err := res.DefineMetrics(bench.Signatures)
+	if err != nil {
+		return nil, err
+	}
+	return core.ParsePresets(core.FormatPresets(defs, bench.Config.RoundTol, 1e-6))
+}

@@ -1,0 +1,30 @@
+// Command report runs the complete reproduction — all four CAT benchmarks on
+// their simulated platforms, every stage of the analysis — and prints a
+// markdown report checking each table and figure against the paper's
+// expected shape. A non-zero exit status means the reproduction regressed.
+//
+// Usage:
+//
+//	report            (print the markdown report)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/perfmetrics/eventlens/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	rep, err := report.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Markdown())
+	if failed := rep.Failed(); len(failed) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Command tables regenerates the paper's tables:
+//
+//	Tables I-IV   — the metric signature tables (pure data)
+//	Tables V-VIII — the metric definitions obtained by running the full
+//	                pipeline on the simulated platforms
+//
+// Usage:
+//
+//	tables             (all tables)
+//	tables -table 5    (one table, by number 1-8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/suite"
+)
+
+var tableNames = [9]string{"", "I", "II", "III", "IV", "V", "VI", "VII", "VIII"}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	table := flag.Int("table", 0, "table number 1-8 (0 = all)")
+	rounded := flag.Bool("rounded", false, "round metric coefficients to integers (Section VI-D)")
+	flag.Parse()
+	if *table < 0 || *table > 8 {
+		log.Fatalf("table must be 0-8, got %d", *table)
+	}
+	// Signature tables come straight from the suite; metric tables need the
+	// pipeline. Benchmarks are ordered so benchmark i produces signature
+	// table i+1 and metric table i+5.
+	for i, bench := range suite.All() {
+		sigTable := i + 1
+		metTable := i + 5
+		if *table == 0 || *table == sigTable {
+			title := fmt.Sprintf("Table %s: %s metric signatures", tableNames[sigTable], bench.Name)
+			fmt.Print(core.FormatSignatureTable(title, bench.BasisSymbols, bench.Signatures))
+			fmt.Println()
+		}
+		if *table == 0 || *table == metTable {
+			res, _, err := bench.Analyze(cat.RunConfig(bench.DefaultRun))
+			if err != nil {
+				log.Fatalf("%s: %v", bench.Name, err)
+			}
+			defs, err := res.DefineMetrics(bench.Signatures)
+			if err != nil {
+				log.Fatalf("%s: %v", bench.Name, err)
+			}
+			if *rounded {
+				for j, d := range defs {
+					defs[j] = d.Rounded(bench.Config.RoundTol)
+				}
+			}
+			title := fmt.Sprintf("Table %s: %s metrics from raw events", tableNames[metTable], bench.Name)
+			fmt.Print(core.FormatMetricTable(title, defs))
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: define the "DP Ops." (double-precision FLOPs) metric from raw
+// hardware events on the simulated Sapphire Rapids CPU.
+//
+// This is the paper's motivating example (Section II): Sapphire Rapids has
+// no raw event counting DP FLOPs, so the analysis discovers which existing
+// events to combine, and by what factors, to construct it:
+//
+//	1 x SCALAR_DOUBLE + 2 x 128B_PACKED_DOUBLE
+//	                  + 4 x 256B_PACKED_DOUBLE + 8 x 512B_PACKED_DOUBLE
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/perfmetrics/eventlens"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Pick the CPU-FLOPs benchmark: 16 microkernels stressing every
+	// floating-point instruction class, on the simulated Sapphire Rapids.
+	bench, err := eventlens.BenchmarkByName("cpu-flops")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Collect measurements (5 repetitions of every raw event over all 48
+	// kernel loops) and run the analysis pipeline: noise filter ->
+	// expectation-basis projection -> specialized QRCP.
+	res, _, err := bench.Analyze(eventlens.DefaultRunConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(eventlens.FormatSelection(res))
+	fmt.Println()
+
+	// Define the DP Ops metric from the selected events.
+	for _, sig := range eventlens.CPUFlopsSignatures() {
+		if sig.Name != "DP Ops." {
+			continue
+		}
+		def, err := res.DefineMetric(sig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("composed metric:")
+		fmt.Print(def)
+		if def.Composable(1e-6) {
+			fmt.Println("\nDP FLOPs can be measured on this architecture with the combination above.")
+		}
+	}
+
+	// Contrast: FMA instruction counts canNOT be composed — no FMA-only
+	// event exists, and the backward error says so (paper Table V).
+	for _, sig := range eventlens.CPUFlopsSignatures() {
+		if sig.Name != "DP FMA Instrs." {
+			continue
+		}
+		def, err := res.DefineMetric(sig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s backward error = %.3g -> not composable (no FMA-only event exists)\n",
+			def.Metric, def.BackwardError)
+	}
+}

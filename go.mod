@@ -1,0 +1,3 @@
+module github.com/perfmetrics/eventlens
+
+go 1.22

@@ -1,0 +1,63 @@
+package branchsim
+
+// BimodalPredictor is a history-free 2-bit-saturating-counter predictor —
+// the baseline every textbook starts with. It exists to document a design
+// constraint of the CAT branching kernels: their learnable alternating
+// patterns converge to zero mispredictions only on a history-based predictor
+// (gshare); a bimodal core mispredicts alternation ~50% of the time, which
+// would change the measured expectation matrix. The tests use it to show
+// that the Eq. 3 ground truth is a property of (kernels + predictor class),
+// not of the kernels alone.
+type BimodalPredictor struct {
+	table []uint8
+}
+
+// NewBimodalPredictor returns a bimodal predictor with 2^tableBits counters
+// initialized to weakly taken.
+func NewBimodalPredictor(tableBits uint) *BimodalPredictor {
+	t := make([]uint8, 1<<tableBits)
+	for i := range t {
+		t[i] = 2
+	}
+	return &BimodalPredictor{table: t}
+}
+
+func (p *BimodalPredictor) index(pc int) int {
+	return pc % len(p.table)
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *BimodalPredictor) Predict(pc int) bool {
+	return p.table[p.index(pc)] >= 2
+}
+
+// Update trains the counter with the actual outcome.
+func (p *BimodalPredictor) Update(pc int, taken bool) {
+	idx := p.index(pc)
+	if taken {
+		if p.table[idx] < 3 {
+			p.table[idx]++
+		}
+	} else if p.table[idx] > 0 {
+		p.table[idx]--
+	}
+}
+
+// DirectionPredictor abstracts over predictor implementations so the
+// branching unit can run with either.
+type DirectionPredictor interface {
+	Predict(pc int) bool
+	Update(pc int, taken bool)
+}
+
+// Compile-time checks that both predictors satisfy the interface.
+var (
+	_ DirectionPredictor = (*Predictor)(nil)
+	_ DirectionPredictor = (*BimodalPredictor)(nil)
+)
+
+// NewUnitWith returns a branching unit driven by a caller-supplied
+// predictor.
+func NewUnitWith(p DirectionPredictor) *Unit {
+	return &Unit{pred: p}
+}

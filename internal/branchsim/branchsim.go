@@ -1,0 +1,251 @@
+// Package branchsim simulates a branching unit with a gshare branch
+// predictor, the substrate underneath the CAT branching benchmark.
+//
+// A kernel is one loop iteration's worth of branch sites: conditional
+// branches with deterministic outcome patterns (always taken, never taken,
+// alternating), unconditional direct branches, and optionally nested sites
+// that only execute when their parent branch is taken. Sites marked Opaque
+// model data-dependent branches whose outcome the CAT benchmark randomizes
+// precisely so that no predictor can learn them; the simulator charges them a
+// deterministic steady-state misprediction on every other execution, which is
+// the expected rate of a real predictor on random data and keeps run-to-run
+// variability at zero (the property Figure 2a of the paper relies on).
+//
+// On a misprediction the pipeline speculatively executes WrongPathConds
+// conditional branches that are later squashed: they count as *executed* but
+// not *retired*, which is what separates the CE and CR columns of the paper's
+// expectation matrix (Eq. 3).
+package branchsim
+
+import "fmt"
+
+// PatternKind is a branch-outcome pattern over loop iterations.
+type PatternKind uint8
+
+const (
+	// Always means the branch is taken on every execution.
+	Always PatternKind = iota
+	// Never means the branch is never taken.
+	Never
+	// Alternate means the branch is taken on every other execution.
+	Alternate
+)
+
+// Outcome returns the branch outcome on the i-th execution of the site.
+func (p PatternKind) Outcome(i uint64) bool {
+	switch p {
+	case Always:
+		return true
+	case Never:
+		return false
+	default:
+		return i%2 == 0
+	}
+}
+
+// Site is one static branch in the kernel body.
+type Site struct {
+	// Name labels the site for debugging.
+	Name string
+	// Direct marks an unconditional (direct) branch; Pattern is ignored and
+	// the branch is always taken.
+	Direct bool
+	// Pattern is the outcome sequence of a conditional site.
+	Pattern PatternKind
+	// Opaque marks a data-dependent conditional branch that no predictor can
+	// learn; it is charged one misprediction per two executions.
+	Opaque bool
+	// WrongPathConds is the number of conditional branches speculatively
+	// executed (and squashed) each time this site mispredicts.
+	WrongPathConds int
+	// NestedIn is the index of the site whose taken outcome gates this
+	// site's execution, or -1 for top-level sites.
+	NestedIn int
+}
+
+// Kernel is one CAT branching microkernel.
+type Kernel struct {
+	Name  string
+	Sites []Site
+}
+
+// Counts are the branching-unit counters over a measured window.
+type Counts struct {
+	CondExec    uint64 // conditional branches executed (incl. wrong path)
+	CondRetired uint64 // conditional branches retired
+	Taken       uint64 // retired conditional branches that were taken
+	Direct      uint64 // retired unconditional (direct) branches
+	Mispredict  uint64 // mispredicted retired branches
+	Iterations  uint64 // loop iterations in the window
+}
+
+// PerIteration returns the five expectation-basis values
+// (CE, CR, T, D, M) normalized per loop iteration.
+func (c *Counts) PerIteration() [5]float64 {
+	n := float64(c.Iterations)
+	if n == 0 {
+		return [5]float64{}
+	}
+	return [5]float64{
+		float64(c.CondExec) / n,
+		float64(c.CondRetired) / n,
+		float64(c.Taken) / n,
+		float64(c.Direct) / n,
+		float64(c.Mispredict) / n,
+	}
+}
+
+// Predictor is a gshare branch predictor with 2-bit saturating counters.
+type Predictor struct {
+	historyBits uint
+	history     uint64
+	table       []uint8
+}
+
+// NewPredictor returns a gshare predictor with the given history length and
+// a table of 2^tableBits counters initialized to weakly taken.
+func NewPredictor(historyBits, tableBits uint) *Predictor {
+	t := make([]uint8, 1<<tableBits)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Predictor{historyBits: historyBits, table: t}
+}
+
+func (p *Predictor) index(pc int) int {
+	h := p.history & ((1 << p.historyBits) - 1)
+	return int((uint64(pc) ^ h) % uint64(len(p.table)))
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc int) bool {
+	return p.table[p.index(pc)] >= 2
+}
+
+// Update trains the predictor with the actual outcome and shifts history.
+func (p *Predictor) Update(pc int, taken bool) {
+	idx := p.index(pc)
+	if taken {
+		if p.table[idx] < 3 {
+			p.table[idx]++
+		}
+	} else if p.table[idx] > 0 {
+		p.table[idx]--
+	}
+	p.history = p.history<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Unit executes branch kernels through a direction predictor and a BTB.
+type Unit struct {
+	pred DirectionPredictor
+	btb  map[int]bool // direct-branch targets seen (always predicted)
+}
+
+// NewUnit returns a branching unit with a fresh 12-bit gshare predictor —
+// the configuration under which the CAT kernels realize Eq. 3 exactly.
+func NewUnit() *Unit {
+	return &Unit{pred: NewPredictor(8, 12)}
+}
+
+// Run executes the kernel for warmup uncounted iterations followed by
+// measured counted iterations, and returns the counters over the measured
+// window. measured should be even so alternating patterns divide evenly.
+func (u *Unit) Run(k *Kernel, warmup, measured uint64) (*Counts, error) {
+	if err := Validate(k); err != nil {
+		return nil, err
+	}
+	execIdx := make([]uint64, len(k.Sites)) // per-site execution counter
+	var c Counts
+	total := warmup + measured
+	for iter := uint64(0); iter < total; iter++ {
+		counting := iter >= warmup
+		taken := make([]bool, len(k.Sites))
+		executed := make([]bool, len(k.Sites))
+		for si := range k.Sites {
+			s := &k.Sites[si]
+			if s.NestedIn >= 0 && !(executed[s.NestedIn] && taken[s.NestedIn]) {
+				continue
+			}
+			executed[si] = true
+			pc := siteGlobalPC(k, si)
+			if s.Direct {
+				// Unconditional: always taken, never mispredicted once in
+				// the BTB; BTB insertion happens during warmup.
+				if u.btb == nil {
+					u.btb = make(map[int]bool)
+				}
+				u.btb[pc] = true
+				taken[si] = true
+				if counting {
+					c.Direct++
+				}
+				continue
+			}
+			out := s.Pattern.Outcome(execIdx[si])
+			taken[si] = out
+			var misp bool
+			if s.Opaque {
+				// Data-dependent branch: steady-state 50% misprediction,
+				// charged deterministically on every other execution.
+				misp = execIdx[si]%2 == 1
+				u.pred.Update(pc, out)
+			} else {
+				pred := u.pred.Predict(pc)
+				misp = pred != out
+				u.pred.Update(pc, out)
+			}
+			execIdx[si]++
+			if counting {
+				c.CondExec++
+				c.CondRetired++
+				if out {
+					c.Taken++
+				}
+				if misp {
+					c.Mispredict++
+					c.CondExec += uint64(s.WrongPathConds)
+				}
+			} else if misp {
+				// Wrong-path work happens regardless of counting, but only
+				// the counters observe it.
+				_ = misp
+			}
+		}
+	}
+	c.Iterations = measured
+	return &c, nil
+}
+
+// siteGlobalPC derives a distinct pseudo-PC per site from the kernel name,
+// so different kernels do not alias in the predictor tables.
+func siteGlobalPC(k *Kernel, si int) int {
+	h := 1469598103
+	for _, ch := range k.Name {
+		h = h*16777619 ^ int(ch)
+	}
+	return (h&0xffff)<<4 | si
+}
+
+// Validate checks structural invariants: nesting references must point to an
+// earlier site, and only conditional sites may carry patterns.
+func Validate(k *Kernel) error {
+	for i, s := range k.Sites {
+		if s.NestedIn >= i {
+			return fmt.Errorf("branchsim: kernel %q site %d nested in later site %d", k.Name, i, s.NestedIn)
+		}
+		if s.NestedIn < -1 {
+			return fmt.Errorf("branchsim: kernel %q site %d has invalid NestedIn %d", k.Name, i, s.NestedIn)
+		}
+		if s.Direct && s.WrongPathConds != 0 {
+			return fmt.Errorf("branchsim: kernel %q site %d is direct but has wrong-path conds", k.Name, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package branchsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPatternOutcomes(t *testing.T) {
+	if !Always.Outcome(0) || !Always.Outcome(7) {
+		t.Fatalf("Always must always be taken")
+	}
+	if Never.Outcome(0) || Never.Outcome(3) {
+		t.Fatalf("Never must never be taken")
+	}
+	if !Alternate.Outcome(0) || Alternate.Outcome(1) || !Alternate.Outcome(2) {
+		t.Fatalf("Alternate must alternate starting taken")
+	}
+}
+
+func TestPredictorLearnsAlways(t *testing.T) {
+	p := NewPredictor(8, 12)
+	for i := 0; i < 16; i++ {
+		p.Update(100, true)
+	}
+	if !p.Predict(100) {
+		t.Fatalf("predictor failed to learn an always-taken branch")
+	}
+}
+
+func TestPredictorLearnsNever(t *testing.T) {
+	p := NewPredictor(8, 12)
+	for i := 0; i < 16; i++ {
+		p.Update(100, false)
+	}
+	if p.Predict(100) {
+		t.Fatalf("predictor failed to learn a never-taken branch")
+	}
+}
+
+func TestPredictorLearnsAlternating(t *testing.T) {
+	// gshare keys on global history, so a period-2 pattern becomes two
+	// distinct table entries, each with a constant outcome.
+	p := NewPredictor(8, 12)
+	misp := 0
+	for i := 0; i < 512; i++ {
+		taken := i%2 == 0
+		if i >= 64 && p.Predict(100) != taken {
+			misp++
+		}
+		p.Update(100, taken)
+	}
+	if misp != 0 {
+		t.Fatalf("gshare should learn alternation after warmup; %d mispredicts", misp)
+	}
+}
+
+func TestRunBareLoopRow(t *testing.T) {
+	u := NewUnit()
+	ks := CATKernels()
+	c, err := u.Run(ks[10], 128, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PerIteration(); got != [5]float64{1, 1, 1, 0, 0} {
+		t.Fatalf("bare loop = %v want (1,1,1,0,0)", got)
+	}
+}
+
+func TestAllKernelsMatchExpectationRows(t *testing.T) {
+	// The central substrate property: every CAT kernel's measured counters,
+	// normalized per iteration, equal the corresponding row of Eq. 3 exactly.
+	kernels := CATKernels()
+	rows := ExpectationRows()
+	if len(kernels) != len(rows) {
+		t.Fatalf("kernel/row count mismatch")
+	}
+	for i, k := range kernels {
+		u := NewUnit()
+		c, err := u.Run(k, 256, 2048)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		got := c.PerIteration()
+		for j := range got {
+			if math.Abs(got[j]-rows[i][j]) > 1e-12 {
+				t.Errorf("%s: column %d = %v want %v (full row %v)", k.Name, j, got[j], rows[i][j], got)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossRepetitions(t *testing.T) {
+	// Zero run-to-run variability is what puts branch events in the
+	// zero-noise cluster of Figure 2a.
+	k := CATKernels()[7]
+	a, err := NewUnit().Run(k, 256, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUnit().Run(k, 256, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("branch simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestWrongPathCountsExecutedNotRetired(t *testing.T) {
+	u := NewUnit()
+	c, err := u.Run(CATKernels()[6], 128, 1024) // b07: wrong-path cond
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CondExec <= c.CondRetired {
+		t.Fatalf("wrong-path branches must inflate executed over retired: CE=%d CR=%d", c.CondExec, c.CondRetired)
+	}
+	if c.CondExec-c.CondRetired != c.Mispredict {
+		t.Fatalf("one wrong-path cond per mispredict expected: CE-CR=%d M=%d", c.CondExec-c.CondRetired, c.Mispredict)
+	}
+}
+
+func TestNestedSiteGating(t *testing.T) {
+	// In b05 the inner site only executes when the opaque alternating parent
+	// is taken, so CR = 2.5 per iteration.
+	c, err := NewUnit().Run(CATKernels()[4], 128, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PerIteration()[1]; got != 2.5 {
+		t.Fatalf("nested CR = %v want 2.5", got)
+	}
+}
+
+func TestDirectBranchCounted(t *testing.T) {
+	c, err := NewUnit().Run(CATKernels()[9], 128, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PerIteration()[3]; got != 1 {
+		t.Fatalf("direct branches = %v want 1", got)
+	}
+	if got := c.PerIteration()[4]; got != 0 {
+		t.Fatalf("direct branches must not mispredict, M = %v", got)
+	}
+}
+
+func TestValidateRejectsBadNesting(t *testing.T) {
+	k := &Kernel{Name: "bad", Sites: []Site{
+		{Name: "x", Pattern: Always, NestedIn: 0}, // self/forward reference
+	}}
+	if err := Validate(k); err == nil {
+		t.Fatalf("expected nesting validation error")
+	}
+	k2 := &Kernel{Name: "bad2", Sites: []Site{
+		{Name: "d", Direct: true, WrongPathConds: 1, NestedIn: -1},
+	}}
+	if err := Validate(k2); err == nil {
+		t.Fatalf("expected direct+wrongpath validation error")
+	}
+}
+
+func TestRunRejectsInvalidKernel(t *testing.T) {
+	k := &Kernel{Name: "bad", Sites: []Site{{Name: "x", Pattern: Always, NestedIn: 5}}}
+	if _, err := NewUnit().Run(k, 8, 8); err == nil {
+		t.Fatalf("Run must reject invalid kernels")
+	}
+}
+
+func TestPerIterationZeroIterations(t *testing.T) {
+	var c Counts
+	if c.PerIteration() != [5]float64{} {
+		t.Fatalf("zero iterations should normalize to zeros")
+	}
+}
+
+func TestOpaqueMispredictRateExactHalf(t *testing.T) {
+	c, err := NewUnit().Run(CATKernels()[3], 128, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PerIteration()[4]; got != 0.5 {
+		t.Fatalf("opaque mispredict rate = %v want exactly 0.5", got)
+	}
+}

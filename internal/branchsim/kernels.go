@@ -1,0 +1,89 @@
+package branchsim
+
+// CATKernels returns the 11 CAT branching microkernels, in the row order of
+// the paper's expectation matrix E_branch (Eq. 3). Site 0 of every kernel is
+// the loop back-edge (an always-taken conditional), matching how the CAT
+// benchmark's final kernel — a bare loop — measures (1,1,1,0,0).
+func CATKernels() []*Kernel {
+	top := -1
+	return []*Kernel{
+		// (2, 2, 1.5, 0, 0): loop branch + learnable alternating branch.
+		{Name: "b01_alt_predictable", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "alt", Pattern: Alternate, NestedIn: top},
+		}},
+		// (2, 2, 1, 0, 0): loop branch + never-taken branch.
+		{Name: "b02_never", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "nt", Pattern: Never, NestedIn: top},
+		}},
+		// (2, 2, 2, 0, 0): loop branch + always-taken branch.
+		{Name: "b03_always", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "t", Pattern: Always, NestedIn: top},
+		}},
+		// (2, 2, 1.5, 0, 0.5): loop branch + data-dependent alternating.
+		{Name: "b04_alt_opaque", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "rand", Pattern: Alternate, Opaque: true, NestedIn: top},
+		}},
+		// (2.5, 2.5, 1.5, 0, 0.5): opaque branch guards a never-taken branch.
+		{Name: "b05_nested_never", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "rand", Pattern: Alternate, Opaque: true, NestedIn: top},
+			{Name: "inner_nt", Pattern: Never, NestedIn: 1},
+		}},
+		// (2.5, 2.5, 2, 0, 0.5): opaque branch guards an always-taken branch.
+		{Name: "b06_nested_taken", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "rand", Pattern: Alternate, Opaque: true, NestedIn: top},
+			{Name: "inner_t", Pattern: Always, NestedIn: 1},
+		}},
+		// (2.5, 2, 1.5, 0, 0.5): opaque branch whose wrong path holds one
+		// conditional branch (executed speculatively, squashed).
+		{Name: "b07_wrongpath", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "rand", Pattern: Alternate, Opaque: true, WrongPathConds: 1, NestedIn: top},
+		}},
+		// (3, 2.5, 1.5, 0, 0.5): wrong-path conditional + nested never-taken.
+		{Name: "b08_wrongpath_nested_never", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "rand", Pattern: Alternate, Opaque: true, WrongPathConds: 1, NestedIn: top},
+			{Name: "inner_nt", Pattern: Never, NestedIn: 1},
+		}},
+		// (3, 2.5, 2, 0, 0.5): wrong-path conditional + nested always-taken.
+		{Name: "b09_wrongpath_nested_taken", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "rand", Pattern: Alternate, Opaque: true, WrongPathConds: 1, NestedIn: top},
+			{Name: "inner_t", Pattern: Always, NestedIn: 1},
+		}},
+		// (2, 2, 1, 1, 0): loop branch + never-taken + direct jump.
+		{Name: "b10_direct", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+			{Name: "nt", Pattern: Never, NestedIn: top},
+			{Name: "jmp", Direct: true, NestedIn: top},
+		}},
+		// (1, 1, 1, 0, 0): the bare loop.
+		{Name: "b11_loop_only", Sites: []Site{
+			{Name: "loop", Pattern: Always, NestedIn: top},
+		}},
+	}
+}
+
+// ExpectationRows returns the per-iteration (CE, CR, T, D, M) ground truth of
+// the CAT kernels — the rows of the paper's Eq. 3.
+func ExpectationRows() [][5]float64 {
+	return [][5]float64{
+		{2, 2, 1.5, 0, 0},
+		{2, 2, 1, 0, 0},
+		{2, 2, 2, 0, 0},
+		{2, 2, 1.5, 0, 0.5},
+		{2.5, 2.5, 1.5, 0, 0.5},
+		{2.5, 2.5, 2, 0, 0.5},
+		{2.5, 2, 1.5, 0, 0.5},
+		{3, 2.5, 1.5, 0, 0.5},
+		{3, 2.5, 2, 0, 0.5},
+		{2, 2, 1, 1, 0},
+		{1, 1, 1, 0, 0},
+	}
+}

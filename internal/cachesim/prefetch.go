@@ -1,0 +1,125 @@
+package cachesim
+
+// Prefetcher models a hardware next-N-line prefetcher in front of a level.
+// It exists to demonstrate *why* the CAT data-cache benchmark chases
+// pointers in a random cycle: a sequential scan would be prefetched and the
+// demand hit/miss counters would stop reflecting the buffer's residency
+// level, destroying the expectation basis.
+type Prefetcher struct {
+	// Degree is how many sequential lines are prefetched on each demand
+	// miss (0 disables prefetching).
+	Degree int
+	// Issued counts prefetch fills issued.
+	Issued uint64
+}
+
+// PrefetchingHierarchy wraps a Hierarchy with a next-line prefetcher that
+// observes demand misses and fills subsequent lines into every level.
+// Prefetch fills do not touch the demand hit/miss counters — exactly like
+// real hardware, where MEM_LOAD_RETIRED events count demand loads only.
+type PrefetchingHierarchy struct {
+	*Hierarchy
+	Prefetcher Prefetcher
+}
+
+// NewPrefetchingHierarchy builds a prefetching hierarchy.
+func NewPrefetchingHierarchy(cfgs []LevelConfig, degree int) (*PrefetchingHierarchy, error) {
+	h, err := NewHierarchy(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &PrefetchingHierarchy{Hierarchy: h, Prefetcher: Prefetcher{Degree: degree}}, nil
+}
+
+// Access performs a demand load and triggers next-line prefetches on miss.
+func (p *PrefetchingHierarchy) Access(addr uint64) int {
+	lvl := p.Hierarchy.Access(addr)
+	if lvl == 0 || p.Prefetcher.Degree == 0 {
+		return lvl
+	}
+	// Demand miss at L1: prefetch the next Degree lines.
+	lineSize := uint64(1) << p.lineShift
+	for d := 1; d <= p.Prefetcher.Degree; d++ {
+		p.prefetchFill(addr + uint64(d)*lineSize)
+		p.Prefetcher.Issued++
+	}
+	return lvl
+}
+
+// prefetchFill inserts a line into every level without counting demand
+// traffic.
+func (p *PrefetchingHierarchy) prefetchFill(addr uint64) {
+	line := addr >> p.lineShift
+	// Probe without counting; fill missing levels.
+	hitLevel := len(p.levels)
+	for i, l := range p.levels {
+		if l.lookup(line) {
+			hitLevel = i
+			break
+		}
+	}
+	for i := hitLevel - 1; i >= 0; i-- {
+		victim, evicted := p.levels[i].insert(line)
+		if evicted && i == len(p.levels)-1 {
+			for j := 0; j < i; j++ {
+				p.levels[j].invalidate(victim)
+			}
+		}
+	}
+}
+
+// RunSequentialScan performs `passes` sequential traversals over a buffer of
+// n lines starting at base (one access per line), after one warmup pass,
+// returning per-access demand rates. Used to contrast prefetched sequential
+// access against the pointer chase.
+func (p *PrefetchingHierarchy) RunSequentialScan(base uint64, n, passes int) *ChaseResult {
+	lineSize := uint64(1) << p.lineShift
+	scan := func() {
+		for i := 0; i < n; i++ {
+			p.Access(base + uint64(i)*lineSize)
+		}
+	}
+	scan()
+	p.ResetCounters()
+	for i := 0; i < passes; i++ {
+		scan()
+	}
+	res := &ChaseResult{Accesses: p.Accesses}
+	total := float64(p.Accesses)
+	for i := 0; i < p.NumLevels(); i++ {
+		hits, misses := p.LevelStats(i)
+		res.HitRate = append(res.HitRate, float64(hits)/total)
+		res.MissRate = append(res.MissRate, float64(misses)/total)
+	}
+	res.MemRate = float64(p.MemAccesses) / total
+	return res
+}
+
+// RunChase executes a pointer chase through the prefetching hierarchy
+// (warmup traversal, counter reset, measured traversals) and returns
+// per-access demand rates — the prefetching counterpart of the package-level
+// RunChase.
+func (p *PrefetchingHierarchy) RunChase(cfg ChaseConfig, passes int) (*ChaseResult, error) {
+	chain, err := BuildChain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range chain {
+		p.Access(a)
+	}
+	p.ResetCounters()
+	for i := 0; i < passes; i++ {
+		for _, a := range chain {
+			p.Access(a)
+		}
+	}
+	res := &ChaseResult{Config: cfg, Accesses: p.Accesses}
+	total := float64(p.Accesses)
+	for i := 0; i < p.NumLevels(); i++ {
+		hits, misses := p.LevelStats(i)
+		res.HitRate = append(res.HitRate, float64(hits)/total)
+		res.MissRate = append(res.MissRate, float64(misses)/total)
+	}
+	res.MemRate = float64(p.MemAccesses) / total
+	return res, nil
+}

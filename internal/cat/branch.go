@@ -1,0 +1,91 @@
+package cat
+
+import (
+	"github.com/perfmetrics/eventlens/internal/branchsim"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// Branch is the CAT branching benchmark: the 11 microkernels whose
+// per-iteration counters realize the rows of the paper's Eq. 3.
+type Branch struct {
+	// Warmup and Measured are the uncounted and counted loop iterations.
+	Warmup   uint64
+	Measured uint64
+}
+
+// NewBranch returns the benchmark with a warmup long enough for the gshare
+// predictor to converge and an even measured window.
+func NewBranch() *Branch {
+	return &Branch{Warmup: 256, Measured: 2048}
+}
+
+// PointNames returns the 11 kernel names.
+func (b *Branch) PointNames() []string {
+	kernels := branchsim.CATKernels()
+	names := make([]string, len(kernels))
+	for i, k := range kernels {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// GroundTruth executes every kernel through a fresh branching unit and
+// returns per-iteration statistics.
+func (b *Branch) GroundTruth() ([]machine.Stats, error) {
+	var points []machine.Stats
+	for _, kernel := range branchsim.CATKernels() {
+		unit := branchsim.NewUnit()
+		counts, err := unit.Run(kernel, b.Warmup, b.Measured)
+		if err != nil {
+			return nil, err
+		}
+		row := counts.PerIteration()
+		ce, cr, taken, direct, misp := row[0], row[1], row[2], row[3], row[4]
+		points = append(points, machine.Stats{
+			machine.KeyBrCE:     ce,
+			machine.KeyBrCR:     cr,
+			machine.KeyBrTaken:  taken,
+			machine.KeyBrDirect: direct,
+			machine.KeyBrMisp:   misp,
+			// Each branch site costs roughly three instructions (compare,
+			// set, branch) plus constant loop bookkeeping — enough to keep
+			// generic pipeline events responsive but unrepresentable in the
+			// branch basis.
+			machine.KeyInstr:  3*(cr+direct) + 2,
+			machine.KeyCycles: (cr+direct)*1.5 + misp*14 + 2,
+			machine.KeyIntOps: 2*cr + 2,
+		})
+	}
+	return points, nil
+}
+
+// Basis returns the 11x5 branching expectation basis — exactly the E_branch
+// matrix of the paper's Eq. 3.
+func (b *Branch) Basis() (*core.Basis, error) {
+	rows := branchsim.ExpectationRows()
+	e := mat.NewDense(len(rows), 5)
+	for i, row := range rows {
+		for j, v := range row {
+			e.Set(i, j, v)
+		}
+	}
+	return core.NewBasis(core.BranchBasisSymbols(), b.PointNames(), e)
+}
+
+// Run measures every event of the platform across the benchmark points.
+func (b *Branch) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	points, err := b.GroundTruth()
+	if err != nil {
+		return nil, err
+	}
+	set := core.NewMeasurementSet("branch", p.Name, b.PointNames())
+	if err := measureInto(set, p, points, cfg); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

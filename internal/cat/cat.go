@@ -1,0 +1,108 @@
+// Package cat implements the Counter Analysis Toolkit benchmarks on top of
+// the workload simulators: drivers that execute each benchmark's microkernels,
+// gather ground-truth statistics, measure every raw event of a platform over
+// the benchmark's points, and build the matching expectation bases.
+//
+// Four benchmarks are provided, mirroring the paper:
+//
+//	FlopsCPU  — Section III, CPU floating-point units (16 kernels x 3 loops)
+//	FlopsGPU  — Section III-C, GPU VALU units (15 kernels x 3 loops)
+//	Branch    — Section III-D, branching unit (the 11 kernels of Eq. 3)
+//	DCache    — Section III-E, multi-threaded pointer chases over the cache
+//	            hierarchy
+package cat
+
+import (
+	"fmt"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/machine"
+)
+
+// RunConfig controls a benchmark run.
+type RunConfig struct {
+	// Reps is the number of benchmark repetitions (the paper collects the
+	// measurement vector from multiple repetitions to quantify noise).
+	Reps int
+	// Threads is the number of concurrent measuring threads; only the data
+	// cache benchmark uses more than one.
+	Threads int
+}
+
+// DefaultRunConfig matches the paper's setup: 5 repetitions, single thread.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Reps: 5, Threads: 1}
+}
+
+// Validate checks the configuration.
+func (c RunConfig) Validate() error {
+	if c.Reps < 1 {
+		return fmt.Errorf("cat: reps must be >= 1, got %d", c.Reps)
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("cat: threads must be >= 1, got %d", c.Threads)
+	}
+	return nil
+}
+
+// StreamEvents measures a platform's full catalog one multiplexing group at
+// a time and yields each event's per-repetition vectors (median-reduced over
+// threads). Peak memory is one group's worth of measurements rather than the
+// whole catalog — the collection mode that scales to the hundreds of
+// thousands of events the paper's introduction describes.
+func StreamEvents(p *machine.Platform, points []machine.Stats, cfg RunConfig) core.EventSource {
+	return func(yield func(string, [][]float64) error) error {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		for _, group := range p.Groups(p.Catalog.Names()) {
+			// event -> rep -> thread vectors for this group only.
+			perEvent := make(map[string][][][]float64, len(group))
+			for rep := 0; rep < cfg.Reps; rep++ {
+				for thread := 0; thread < cfg.Threads; thread++ {
+					vectors, err := p.Measure(points, group, rep, thread)
+					if err != nil {
+						return err
+					}
+					for _, name := range group {
+						for len(perEvent[name]) <= rep {
+							perEvent[name] = append(perEvent[name], nil)
+						}
+						perEvent[name][rep] = append(perEvent[name][rep], vectors[name])
+					}
+				}
+			}
+			for _, name := range group {
+				reps := make([][]float64, 0, cfg.Reps)
+				for _, threadVectors := range perEvent[name] {
+					reps = append(reps, core.MedianOverThreads(threadVectors))
+				}
+				if err := yield(name, reps); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// measureInto measures every platform event over the points for all
+// reps/threads and appends the measurements to the set.
+func measureInto(set *core.MeasurementSet, p *machine.Platform, points []machine.Stats, cfg RunConfig) error {
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for thread := 0; thread < cfg.Threads; thread++ {
+			vectors, err := p.MeasureAll(points, rep, thread)
+			if err != nil {
+				return err
+			}
+			// Catalog order keeps downstream tie-breaking deterministic.
+			for _, name := range p.Catalog.Names() {
+				err := set.Add(name, core.Measurement{Rep: rep, Thread: thread, Vector: vectors[name]})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package cat
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/perfmetrics/eventlens/internal/cachesim"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// DCache is the CAT data-cache benchmark: pointer chases over buffers sized
+// into each level of the hierarchy, at multiple strides, executed by several
+// concurrent threads on disjoint buffers (Section III-E). Per-thread noise
+// is suppressed downstream by taking the median across threads.
+type DCache struct {
+	// Levels is the simulated hierarchy geometry.
+	Levels []cachesim.LevelConfig
+	// TLBs is the translation hierarchy (nil disables TLB modelling).
+	TLBs []cachesim.TLBConfig
+	// Strides are the chase strides in bytes (the paper uses 64 and 128).
+	Strides []int
+	// Passes is the number of measured traversals per point.
+	Passes int
+	// Seed feeds the chain permutations.
+	Seed int64
+
+	buildOnce sync.Once
+	points    []cachesim.SweepPoint
+}
+
+// NewDCache returns the benchmark on the default SPR-like hierarchy with the
+// paper's strides.
+func NewDCache() *DCache {
+	return &DCache{
+		Levels:  cachesim.SPRLikeConfig(),
+		TLBs:    cachesim.SPRLikeTLBConfig(),
+		Strides: []int{64, 128},
+		Passes:  1,
+		Seed:    1,
+	}
+}
+
+// Points returns the sweep configurations.
+func (b *DCache) Points() []cachesim.SweepPoint {
+	b.buildOnce.Do(func() {
+		b.points = cachesim.BuildSweep(b.Levels, b.Strides)
+	})
+	return b.points
+}
+
+// PointNames returns the sweep point labels.
+func (b *DCache) PointNames() []string {
+	pts := b.Points()
+	names := make([]string, len(pts))
+	for i, p := range pts {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// GroundTruth runs the sweep for one thread (each thread owns a private
+// hierarchy and a disjoint buffer, so ideal rates are thread-independent)
+// and returns per-access statistics for every point.
+func (b *DCache) GroundTruth(threadSeed int64) ([]machine.Stats, error) {
+	pts := b.Points()
+	stats := make([]machine.Stats, len(pts))
+	var wg sync.WaitGroup
+	errs := make([]error, len(pts))
+	for i, p := range pts {
+		wg.Add(1)
+		go func(i int, p cachesim.SweepPoint) {
+			defer wg.Done()
+			res, err := cachesim.RunSweepPointTLB(b.Levels, b.TLBs, p, b.Seed+threadSeed*7919+int64(i), b.Passes)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			stats[i] = cacheStats(res)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+// cacheStats flattens chase rates into ground-truth stat keys (per access).
+func cacheStats(r *cachesim.ChaseResult) machine.Stats {
+	l1h, l1m := r.HitRate[0], r.MissRate[0]
+	l2h, l2m := r.HitRate[1], r.MissRate[1]
+	l3h, l3m := r.HitRate[2], r.MissRate[2]
+	s := machine.Stats{
+		machine.KeyL1Hit:  l1h,
+		machine.KeyL1Miss: l1m,
+		machine.KeyL2Hit:  l2h,
+		machine.KeyL2Miss: l2m,
+		machine.KeyL3Hit:  l3h,
+		machine.KeyL3Miss: l3m,
+		machine.KeyMemAcc: r.MemRate,
+		machine.KeyAccess: 1,
+		machine.KeyLoads:  1,
+		machine.KeyInstr:  3,
+		machine.KeyIntOps: 1,
+		machine.KeyCycles: 4*l1h + 14*l2h + 40*l3h + 220*r.MemRate + 1,
+	}
+	if len(r.TLBMissRate) > 0 {
+		s[machine.KeyDTLBMiss] = r.TLBMissRate[0]
+		if len(r.TLBMissRate) > 1 {
+			s[machine.KeySTLBMiss] = r.TLBMissRate[1]
+		}
+		s[machine.KeyWalks] = r.WalkRate
+	}
+	return s
+}
+
+// Basis returns the sweep-point x 4 cache expectation basis: each ideal
+// event reads 1 per access in its region (L1DH in the L1 region, L2DH in
+// L2, L3DH in L3) and L1DM reads 1 everywhere the chase misses L1.
+func (b *DCache) Basis() (*core.Basis, error) {
+	pts := b.Points()
+	e := mat.NewDense(len(pts), 4)
+	for i, p := range pts {
+		switch p.Region {
+		case cachesim.RegionL1:
+			e.Set(i, 1, 1) // L1DH
+		case cachesim.RegionL2:
+			e.Set(i, 0, 1) // L1DM
+			e.Set(i, 2, 1) // L2DH
+		case cachesim.RegionL3:
+			e.Set(i, 0, 1)
+			e.Set(i, 3, 1) // L3DH
+		case cachesim.RegionMem:
+			e.Set(i, 0, 1)
+		}
+	}
+	return core.NewBasis(core.CacheBasisSymbols(), b.PointNames(), e)
+}
+
+// Run executes the sweep on cfg.Threads concurrent threads and measures
+// every event per repetition and thread.
+func (b *DCache) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Per-thread ground truth, computed concurrently.
+	perThread := make([][]machine.Stats, cfg.Threads)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			perThread[t], errs[t] = b.GroundTruth(int64(t))
+		}(t)
+	}
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cat: dcache thread %d: %w", t, err)
+		}
+	}
+	set := core.NewMeasurementSet("dcache", p.Name, b.PointNames())
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for t := 0; t < cfg.Threads; t++ {
+			vectors, err := p.MeasureAll(perThread[t], rep, t)
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range p.Catalog.Names() {
+				err := set.Add(name, core.Measurement{Rep: rep, Thread: t, Vector: vectors[name]})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return set, nil
+}

@@ -1,0 +1,124 @@
+package cat
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/machine"
+)
+
+func TestStreamMatchesBatchNoiseAnalysis(t *testing.T) {
+	// The streaming path must reach exactly the same noise verdicts as the
+	// batch path on the same platform and benchmark.
+	platform := sprPlatform(t)
+	bench := NewBranch()
+	cfg := DefaultRunConfig()
+
+	set, err := bench.Run(platform, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := core.FilterNoise(set, 1e-10)
+
+	points, err := bench.GroundTruth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := core.FilterNoiseStream(StreamEvents(platform, points, cfg), 1e-10, core.MaxRNMSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(stream.KeptOrder) != len(batch.KeptOrder) {
+		t.Fatalf("kept: stream %d vs batch %d", len(stream.KeptOrder), len(batch.KeptOrder))
+	}
+	if len(stream.Discarded) != len(batch.Discarded) || len(stream.Filtered) != len(batch.Filtered) {
+		t.Fatalf("verdict counts differ: stream %d/%d, batch %d/%d",
+			len(stream.Discarded), len(stream.Filtered), len(batch.Discarded), len(batch.Filtered))
+	}
+	batchKept := map[string]bool{}
+	for _, name := range batch.KeptOrder {
+		batchKept[name] = true
+	}
+	for _, name := range stream.KeptOrder {
+		if !batchKept[name] {
+			t.Fatalf("stream kept %s, batch did not", name)
+		}
+		for i, v := range stream.Kept[name] {
+			if v != batch.Kept[name][i] {
+				t.Fatalf("%s: vector differs at %d: %v vs %v", name, i, v, batch.Kept[name][i])
+			}
+		}
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	platform := sprPlatform(t)
+	points, err := NewBranch().GroundTruth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := fmt.Errorf("stop")
+	count := 0
+	err = StreamEvents(platform, points, RunConfig{Reps: 1, Threads: 1})(func(string, [][]float64) error {
+		count++
+		if count == 3 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop {
+		t.Fatalf("yield error not propagated: %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("source did not stop early: %d events", count)
+	}
+}
+
+func TestStreamInvalidConfig(t *testing.T) {
+	platform := sprPlatform(t)
+	err := StreamEvents(platform, nil, RunConfig{Reps: 0, Threads: 1})(func(string, [][]float64) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("invalid config should fail")
+	}
+}
+
+func TestStreamingPipelineHundredThousandEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale streaming test skipped in -short mode")
+	}
+	// The paper's motivating scale: a 100k-event catalog, streamed group by
+	// group through noise filtering and the rest of the pipeline.
+	platform, err := machine.SyntheticCatalog(100000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := NewFlopsCPU()
+	points := bench.GroundTruth()
+	cfg := RunConfig{Reps: 2, Threads: 1}
+	noise, err := core.FilterNoiseStream(StreamEvents(platform, points, cfg), 1e-10, core.MaxRNMSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis, err := bench.Basis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := core.BuildX(basis, noise.Kept, noise.KeptOrder, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := core.SpecializedQRCP(proj.X, 5e-4)
+	if qr.Rank != 8 {
+		t.Fatalf("rank = %d want 8 at 100k-event scale", qr.Rank)
+	}
+	for _, idx := range qr.Selected() {
+		name := proj.Order[idx]
+		if len(name) >= 4 && name[:4] == "SYN_" {
+			t.Fatalf("synthetic filler selected: %s", name)
+		}
+	}
+}

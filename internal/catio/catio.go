@@ -1,0 +1,126 @@
+// Package catio serializes measurement sets to and from JSON, so benchmark
+// collection (cmd/catrun) and analysis (cmd/analyze) can run as separate
+// steps — mirroring how the real Counter Analysis Toolkit writes measurement
+// files on the target machine and analyzes them offline.
+package catio
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+)
+
+// fileFormat is bumped whenever the on-disk layout changes incompatibly.
+const fileFormat = 1
+
+// measurementJSON is the wire form of one measurement.
+type measurementJSON struct {
+	Rep    int       `json:"rep"`
+	Thread int       `json:"thread"`
+	Vector []float64 `json:"vector"`
+}
+
+// setJSON is the wire form of a measurement set.
+type setJSON struct {
+	Format     int                          `json:"format"`
+	Benchmark  string                       `json:"benchmark"`
+	Platform   string                       `json:"platform"`
+	PointNames []string                     `json:"point_names"`
+	Order      []string                     `json:"order"`
+	Events     map[string][]measurementJSON `json:"events"`
+}
+
+// Encode writes a measurement set as JSON to w.
+func Encode(w io.Writer, set *core.MeasurementSet) error {
+	if err := set.Validate(); err != nil {
+		return fmt.Errorf("catio: refusing to encode invalid set: %w", err)
+	}
+	out := setJSON{
+		Format:     fileFormat,
+		Benchmark:  set.Benchmark,
+		Platform:   set.Platform,
+		PointNames: set.PointNames,
+		Order:      set.Order,
+		Events:     make(map[string][]measurementJSON, len(set.Events)),
+	}
+	for name, ms := range set.Events {
+		wire := make([]measurementJSON, len(ms))
+		for i, m := range ms {
+			wire[i] = measurementJSON{Rep: m.Rep, Thread: m.Thread, Vector: m.Vector}
+		}
+		out.Events[name] = wire
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// Decode reads a measurement set from JSON.
+func Decode(r io.Reader) (*core.MeasurementSet, error) {
+	var in setJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("catio: decode: %w", err)
+	}
+	if in.Format != fileFormat {
+		return nil, fmt.Errorf("catio: unsupported format %d (want %d)", in.Format, fileFormat)
+	}
+	set := core.NewMeasurementSet(in.Benchmark, in.Platform, in.PointNames)
+	for _, name := range in.Order {
+		wire, ok := in.Events[name]
+		if !ok {
+			return nil, fmt.Errorf("catio: event %q listed in order but missing", name)
+		}
+		for _, m := range wire {
+			err := set.Add(name, core.Measurement{Rep: m.Rep, Thread: m.Thread, Vector: m.Vector})
+			if err != nil {
+				return nil, fmt.Errorf("catio: %w", err)
+			}
+		}
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("catio: decoded set invalid: %w", err)
+	}
+	return set, nil
+}
+
+// WriteFile saves a measurement set to path; a ".gz" suffix enables gzip
+// compression (measurement files compress extremely well).
+func WriteFile(path string, set *core.MeasurementSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer gz.Close()
+		w = gz
+	}
+	return Encode(w, set)
+}
+
+// ReadFile loads a measurement set from path, transparently decompressing
+// ".gz" files.
+func ReadFile(path string) (*core.MeasurementSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return Decode(r)
+}

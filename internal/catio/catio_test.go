@@ -1,0 +1,98 @@
+package catio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+)
+
+func sampleSet(t *testing.T) *core.MeasurementSet {
+	t.Helper()
+	set := core.NewMeasurementSet("branch", "spr-sim", []string{"k1", "k2"})
+	for rep := 0; rep < 2; rep++ {
+		if err := set.Add("EV_A", core.Measurement{Rep: rep, Vector: []float64{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := set.Add("EV_B", core.Measurement{Rep: rep, Thread: 1, Vector: []float64{3.5, 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return set
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	set := sampleSet(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != set.Benchmark || got.Platform != set.Platform {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if len(got.Order) != 2 || got.Order[0] != "EV_A" || got.Order[1] != "EV_B" {
+		t.Fatalf("order lost: %v", got.Order)
+	}
+	if got.Events["EV_B"][0].Thread != 1 {
+		t.Fatalf("thread index lost")
+	}
+	if got.Events["EV_A"][1].Vector[1] != 2 {
+		t.Fatalf("vector data lost")
+	}
+}
+
+func TestDecodeRejectsBadFormat(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"format": 99}`)); err == nil {
+		t.Fatalf("wrong format version should fail")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Fatalf("garbage should fail")
+	}
+}
+
+func TestDecodeRejectsInconsistentSet(t *testing.T) {
+	payload := `{"format":1,"benchmark":"b","platform":"p","point_names":["x"],
+		"order":["GHOST"],"events":{}}`
+	if _, err := Decode(strings.NewReader(payload)); err == nil {
+		t.Fatalf("ghost event should fail")
+	}
+}
+
+func TestEncodeRejectsInvalidSet(t *testing.T) {
+	set := sampleSet(t)
+	set.Order = append(set.Order, "GHOST")
+	var buf bytes.Buffer
+	if err := Encode(&buf, set); err == nil {
+		t.Fatalf("invalid set should fail to encode")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	set := sampleSet(t)
+	dir := t.TempDir()
+	for _, name := range []string{"m.json", "m.json.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, set); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Benchmark != "branch" || len(got.Events) != 2 {
+			t.Fatalf("%s: round trip lost data", name)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatalf("missing file should fail")
+	}
+}

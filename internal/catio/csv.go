@@ -1,0 +1,46 @@
+package catio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+)
+
+// WriteCSV exports a measurement set as CSV for external plotting tools:
+// one row per (event, rep, thread), with one column per benchmark point.
+// The header row is: event, rep, thread, <point names...>.
+func WriteCSV(w io.Writer, set *core.MeasurementSet) error {
+	if err := set.Validate(); err != nil {
+		return fmt.Errorf("catio: refusing to export invalid set: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"event", "rep", "thread"}, set.PointNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, name := range set.Order {
+		ms := append([]core.Measurement(nil), set.Events[name]...)
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].Rep != ms[j].Rep {
+				return ms[i].Rep < ms[j].Rep
+			}
+			return ms[i].Thread < ms[j].Thread
+		})
+		for _, m := range ms {
+			row := make([]string, 0, len(header))
+			row = append(row, name, strconv.Itoa(m.Rep), strconv.Itoa(m.Thread))
+			for _, v := range m.Vector {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

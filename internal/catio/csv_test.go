@@ -1,0 +1,100 @@
+package catio
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+)
+
+func TestWriteCSV(t *testing.T) {
+	set := sampleSet(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "event,rep,thread,k1,k2" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 2 events x 2 reps = 4 data rows.
+	if len(lines) != 5 {
+		t.Fatalf("rows = %d want 5: %v", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[1], "EV_A,0,0,1,2") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	// Rows sorted by (rep, thread) within each event.
+	if !strings.HasPrefix(lines[2], "EV_A,1,0,") {
+		t.Fatalf("second row = %q", lines[2])
+	}
+}
+
+func TestWriteCSVRejectsInvalid(t *testing.T) {
+	set := sampleSet(t)
+	set.Order = append(set.Order, "GHOST")
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, set); err == nil {
+		t.Fatalf("invalid set should fail CSV export")
+	}
+}
+
+// Property: any structurally valid measurement set survives the JSON round
+// trip with vectors intact.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(nEvents, nPoints, nReps uint8, seed int64) bool {
+		ne := int(nEvents%5) + 1
+		np := int(nPoints%6) + 1
+		nr := int(nReps%3) + 1
+		points := make([]string, np)
+		for i := range points {
+			points[i] = fmt.Sprintf("p%d", i)
+		}
+		set := core.NewMeasurementSet("prop", "plat", points)
+		val := float64(seed % 1000)
+		for e := 0; e < ne; e++ {
+			name := fmt.Sprintf("EV_%d", e)
+			for r := 0; r < nr; r++ {
+				vec := make([]float64, np)
+				for i := range vec {
+					val += 1.25
+					vec[i] = val
+				}
+				if err := set.Add(name, core.Measurement{Rep: r, Vector: vec}); err != nil {
+					return false
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, set); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Order) != ne || len(got.PointNames) != np {
+			return false
+		}
+		for name, ms := range set.Events {
+			gms := got.Events[name]
+			if len(gms) != len(ms) {
+				return false
+			}
+			for i := range ms {
+				for j := range ms[i].Vector {
+					if ms[i].Vector[j] != gms[i].Vector[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package catio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the measurement decoder: it must
+// never panic, and anything it accepts must satisfy the set's own
+// validation (enforced inside Decode) and survive a re-encode round trip.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid document and near-miss corruptions.
+	valid := `{"format":1,"benchmark":"b","platform":"p","point_names":["x","y"],` +
+		`"order":["E"],"events":{"E":[{"rep":0,"thread":0,"vector":[1,2]}]}}`
+	f.Add(valid)
+	f.Add(strings.Replace(valid, `"format":1`, `"format":2`, 1))
+	f.Add(strings.Replace(valid, `[1,2]`, `[1]`, 1))
+	f.Add(`{}`)
+	f.Add(`not json at all`)
+	f.Add(`{"format":1,"order":["GHOST"],"events":{}}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		set, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted documents must re-encode and re-decode identically.
+		var buf bytes.Buffer
+		if err := Encode(&buf, set); err != nil {
+			t.Fatalf("accepted set failed to re-encode: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded set failed to decode: %v", err)
+		}
+		if len(again.Order) != len(set.Order) || len(again.PointNames) != len(set.PointNames) {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

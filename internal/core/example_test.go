@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// The Section III-A worked example: compose DP FLOPs from a scalar event and
+// an AVX256 FMA event.
+func ExampleDefineMetric() {
+	// Xhat columns: a scalar-instruction event and an FMA-instruction
+	// event, in a 2-dimensional expectation basis (DSCAL, D256_FMA).
+	xhat := mat.FromColumns([][]float64{
+		{1, 0}, // counts scalar instructions
+		{0, 1}, // counts AVX256 FMA instructions
+	})
+	sig := core.Signature{Name: "DP FLOPs", Coeffs: []float64{1, 8}}
+	def, err := core.DefineMetric(xhat, []string{"SCALAR_EVENT", "FMA_EVENT"}, sig)
+	if err != nil {
+		panic(err)
+	}
+	for _, term := range def.Terms {
+		fmt.Printf("%g x %s\n", term.Coeff, term.Event)
+	}
+	// Output:
+	// 1 x SCALAR_EVENT
+	// 8 x FMA_EVENT
+}
+
+// The paper's pivot-score example from Section V: with alpha = 0.01 the
+// vector (1.002, 0.001, -0.5, 1.5) scores 1 + 0 + 1/0.5 + 1.5.
+func ExampleColumnScore() {
+	score := core.ColumnScore([]float64{1.002, 0.001, -0.5, 1.5}, 0.01)
+	fmt.Println(score)
+	// Output: 4.5
+}
+
+// The specialized QRCP prefers basis-like columns over large-norm columns —
+// the opposite of classical pivoting.
+func ExampleSpecializedQRCP() {
+	x := mat.FromColumns([][]float64{
+		{5000, 3000, 1000}, // a cycles-like column with a huge norm
+		{1, 0, 0},          // basis-like
+		{0, 1, 0},          // basis-like
+	})
+	res := core.SpecializedQRCP(x, 5e-4)
+	fmt.Println("first pivot:", res.Selected()[0])
+	// Output: first pivot: 1
+}
+
+// Eq. 4: the RNMSE of (1,1) vs (1.01,0.99) is 0.01.
+func ExampleMaxRNMSE() {
+	v := core.MaxRNMSE([][]float64{{1, 1}, {1.01, 0.99}})
+	fmt.Printf("%.2f\n", v)
+	// Output: 0.01
+}
+
+// Automatic threshold selection: five zero-noise events against a noisy
+// tail; tau lands in the gap between them.
+func ExampleSuggestTau() {
+	vars := []core.EventVariability{
+		{Event: "clean1"}, {Event: "clean2"}, {Event: "clean3"},
+		{Event: "noisy1", MaxRNMSE: 1e-4},
+		{Event: "noisy2", MaxRNMSE: 1e-2},
+	}
+	s := core.SuggestTau(vars)
+	fmt.Println(s.Below, "below,", s.Above, "above")
+	// Output: 3 below, 2 above
+}

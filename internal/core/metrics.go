@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// Term is one scaled raw event in a metric definition.
+type Term struct {
+	Event string
+	Coeff float64
+}
+
+// MetricDefinition is a high-level metric composed from raw events
+// (Section VI): the least-squares solution of Xhat * y = s together with its
+// backward-error fitness.
+type MetricDefinition struct {
+	// Metric is the signature name.
+	Metric string
+	// Terms holds one entry per selected event, in selection order,
+	// including near-zero coefficients (they are diagnostic: an all-tiny
+	// combination with error ~1 means the metric is not composable).
+	Terms []Term
+	// BackwardError is ||Xhat*y - s|| / (||Xhat||*||y|| + ||s||), Eq. 5.
+	BackwardError float64
+	// Residual is ||Xhat*y - s||_2.
+	Residual float64
+}
+
+// DefineMetric solves Xhat * y = s for one signature. Xhat's columns
+// correspond to eventNames; the signature must be expressed in the same
+// basis coordinates as Xhat's rows.
+func DefineMetric(xhat *mat.Dense, eventNames []string, sig Signature) (*MetricDefinition, error) {
+	rows, cols := xhat.Dims()
+	if cols != len(eventNames) {
+		return nil, fmt.Errorf("core: Xhat has %d columns, %d event names", cols, len(eventNames))
+	}
+	if cols == 0 {
+		return nil, fmt.Errorf("core: no events selected; cannot define %q", sig.Name)
+	}
+	if len(sig.Coeffs) != rows {
+		return nil, fmt.Errorf("core: signature %q has %d coefficients, Xhat has %d rows",
+			sig.Name, len(sig.Coeffs), rows)
+	}
+	res, err := mat.LeastSquares(xhat, sig.Coeffs)
+	if err != nil {
+		return nil, fmt.Errorf("core: defining %q: %w", sig.Name, err)
+	}
+	def := &MetricDefinition{
+		Metric:        sig.Name,
+		BackwardError: res.BackwardError,
+		Residual:      res.Residual,
+	}
+	for i, name := range eventNames {
+		def.Terms = append(def.Terms, Term{Event: name, Coeff: res.X[i]})
+	}
+	return def, nil
+}
+
+// Composable reports whether the definition's fitness is below the given
+// backward-error threshold — the paper's criterion for "this metric can be
+// composed from raw events on this architecture".
+func (d *MetricDefinition) Composable(maxBackwardError float64) bool {
+	return d.BackwardError <= maxBackwardError
+}
+
+// Rounded returns a copy with each coefficient snapped to the nearest
+// integer when it lies within tol of it (Section VI-D: cache-metric
+// coefficients land within a couple percent of 0 or 1 and rounding them
+// recovers the exact combination). Coefficients farther than tol from any
+// integer are kept as-is.
+func (d *MetricDefinition) Rounded(tol float64) *MetricDefinition {
+	out := &MetricDefinition{
+		Metric:        d.Metric,
+		BackwardError: d.BackwardError,
+		Residual:      d.Residual,
+	}
+	for _, t := range d.Terms {
+		n := math.Round(t.Coeff)
+		c := t.Coeff
+		if math.Abs(t.Coeff-n) <= tol {
+			c = n
+		}
+		out.Terms = append(out.Terms, Term{Event: t.Event, Coeff: c})
+	}
+	return out
+}
+
+// NonZeroTerms returns the terms with non-zero coefficients.
+func (d *MetricDefinition) NonZeroTerms() []Term {
+	var out []Term
+	for _, t := range d.Terms {
+		if t.Coeff != 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String renders the definition in the style of the paper's Tables V-VIII:
+// one "coeff x EVENT" line per term plus the error.
+func (d *MetricDefinition) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", d.Metric)
+	for i, t := range d.Terms {
+		sep := "  "
+		if i > 0 {
+			sep = "+ "
+			if t.Coeff < 0 {
+				sep = "- "
+			}
+		}
+		c := t.Coeff
+		if i > 0 && c < 0 {
+			c = -c
+		}
+		if c == 0 {
+			c = 0 // normalize negative zero for display
+		}
+		fmt.Fprintf(&b, "  %s%.6g x %s\n", sep, c, t.Event)
+	}
+	fmt.Fprintf(&b, "  error: %.3g\n", d.BackwardError)
+	return b.String()
+}
+
+// Combine evaluates the metric definition against raw measurement vectors in
+// point space: sum over terms of coeff * measurements[event]. This is what
+// the paper's Figure 3 plots against the expanded signature. Terms with an
+// exactly-zero coefficient are skipped, so rounded definitions only need
+// measurements for the events they actually reference.
+func (d *MetricDefinition) Combine(measurements map[string][]float64) ([]float64, error) {
+	var out []float64
+	nonZero := d.NonZeroTerms()
+	if len(nonZero) == 0 {
+		return nil, fmt.Errorf("core: metric %q has no non-zero terms to combine", d.Metric)
+	}
+	for _, t := range nonZero {
+		m, ok := measurements[t.Event]
+		if !ok {
+			return nil, fmt.Errorf("core: no measurements for %q", t.Event)
+		}
+		if out == nil {
+			out = make([]float64, len(m))
+		}
+		if len(m) != len(out) {
+			return nil, fmt.Errorf("core: measurement length mismatch for %q", t.Event)
+		}
+		mat.Axpy(t.Coeff, m, out)
+	}
+	return out, nil
+}

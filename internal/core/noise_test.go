@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxRNMSEIdenticalVectors(t *testing.T) {
+	v := []float64{1, 2, 3}
+	if got := MaxRNMSE([][]float64{v, v, v}); got != 0 {
+		t.Fatalf("identical vectors must have zero variability, got %v", got)
+	}
+}
+
+func TestMaxRNMSESingleRep(t *testing.T) {
+	if got := MaxRNMSE([][]float64{{1, 2}}); got != 0 {
+		t.Fatalf("single repetition must have zero variability, got %v", got)
+	}
+}
+
+func TestMaxRNMSEKnownValue(t *testing.T) {
+	// m1=(1,1), m2=(1.01,0.99): diff norm = sqrt(2)*0.01,
+	// denominator = sqrt(2 * 1 * 1) = sqrt(2) -> RNMSE = 0.01.
+	got := MaxRNMSE([][]float64{{1, 1}, {1.01, 0.99}})
+	if math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("RNMSE = %v want 0.01", got)
+	}
+}
+
+func TestMaxRNMSEZeroMeanPairIsOne(t *testing.T) {
+	// One vector averages zero and differs from the other: variability 1.
+	got := MaxRNMSE([][]float64{{0, 0}, {1, 1}})
+	if got != 1 {
+		t.Fatalf("zero-mean pair should read 1, got %v", got)
+	}
+}
+
+func TestMaxRNMSEPicksMaximumPair(t *testing.T) {
+	a := []float64{1, 1}
+	b := []float64{1.001, 0.999} // small error vs a
+	c := []float64{1.2, 0.8}     // large error vs a and b
+	got := MaxRNMSE([][]float64{a, b, c})
+	want := MaxRNMSE([][]float64{a, c})
+	if got < want {
+		t.Fatalf("max not taken over pairs: %v < %v", got, want)
+	}
+}
+
+func TestMaxRNMSEScaleInvariant(t *testing.T) {
+	// RNMSE normalizes by the means, so scaling both vectors by k leaves it
+	// unchanged.
+	a := []float64{10, 12}
+	b := []float64{11, 11.5}
+	r1 := MaxRNMSE([][]float64{a, b})
+	a2 := []float64{1000, 1200}
+	b2 := []float64{1100, 1150}
+	r2 := MaxRNMSE([][]float64{a2, b2})
+	if math.Abs(r1-r2) > 1e-12 {
+		t.Fatalf("RNMSE not scale invariant: %v vs %v", r1, r2)
+	}
+}
+
+func buildSet(t *testing.T, points int, events map[string][][]float64) *MeasurementSet {
+	t.Helper()
+	names := make([]string, points)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	set := NewMeasurementSet("test", "test-sim", names)
+	// Deterministic order: add in sorted-key order via explicit list.
+	for _, name := range []string{"exact", "noisy", "zero", "shaky"} {
+		reps, ok := events[name]
+		if !ok {
+			continue
+		}
+		for r, v := range reps {
+			if err := set.Add(name, Measurement{Rep: r, Thread: 0, Vector: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return set
+}
+
+func TestFilterNoise(t *testing.T) {
+	set := buildSet(t, 2, map[string][][]float64{
+		"exact": {{1, 2}, {1, 2}, {1, 2}},
+		"noisy": {{1, 2}, {1.5, 2.5}, {0.7, 1.9}},
+		"zero":  {{0, 0}, {0, 0}},
+	})
+	rep := FilterNoise(set, 1e-10)
+	if len(rep.Discarded) != 1 || rep.Discarded[0] != "zero" {
+		t.Fatalf("all-zero event not discarded: %v", rep.Discarded)
+	}
+	if len(rep.Filtered) != 1 || rep.Filtered[0] != "noisy" {
+		t.Fatalf("noisy event not filtered: %v", rep.Filtered)
+	}
+	if len(rep.KeptOrder) != 1 || rep.KeptOrder[0] != "exact" {
+		t.Fatalf("exact event not kept: %v", rep.KeptOrder)
+	}
+	if kept := rep.Kept["exact"]; kept[0] != 1 || kept[1] != 2 {
+		t.Fatalf("kept vector wrong: %v", kept)
+	}
+	// Variabilities exclude discarded events.
+	if len(rep.Variabilities) != 2 {
+		t.Fatalf("variability entries = %d want 2", len(rep.Variabilities))
+	}
+}
+
+func TestFilterNoiseLenientThresholdKeepsModerateNoise(t *testing.T) {
+	set := buildSet(t, 2, map[string][][]float64{
+		"shaky": {{100, 200}, {101, 199}},
+	})
+	strict := FilterNoise(set, 1e-10)
+	if len(strict.KeptOrder) != 0 {
+		t.Fatalf("strict threshold should filter the shaky event")
+	}
+	lenient := FilterNoise(set, 1e-1)
+	if len(lenient.KeptOrder) != 1 {
+		t.Fatalf("lenient threshold should keep the shaky event")
+	}
+	// Kept vector is the mean across repetitions.
+	if got := lenient.Kept["shaky"][0]; math.Abs(got-100.5) > 1e-12 {
+		t.Fatalf("mean vector wrong: %v", got)
+	}
+}
+
+func TestSortedVariabilities(t *testing.T) {
+	set := buildSet(t, 2, map[string][][]float64{
+		"exact": {{1, 2}, {1, 2}},
+		"noisy": {{1, 2}, {2, 3}},
+	})
+	rep := FilterNoise(set, 1e-10)
+	sorted := rep.SortedVariabilities()
+	if len(sorted) != 2 || sorted[0].MaxRNMSE > sorted[1].MaxRNMSE {
+		t.Fatalf("variabilities not sorted: %v", sorted)
+	}
+	if sorted[0].Event != "exact" {
+		t.Fatalf("zero-noise event should sort first")
+	}
+}
+
+func TestMedianOverThreads(t *testing.T) {
+	// Odd count: plain median; one outlier thread is suppressed.
+	v := MedianOverThreads([][]float64{
+		{10, 1},
+		{11, 1},
+		{99, 1}, // outlier
+	})
+	if v[0] != 11 || v[1] != 1 {
+		t.Fatalf("median = %v", v)
+	}
+	// Even count: average of the central pair.
+	v = MedianOverThreads([][]float64{{1}, {3}, {100}, {2}})
+	if v[0] != 2.5 {
+		t.Fatalf("even median = %v want 2.5", v)
+	}
+	// Single vector: pass-through copy.
+	src := [][]float64{{7}}
+	v = MedianOverThreads(src)
+	v[0] = 8
+	if src[0][0] != 7 {
+		t.Fatalf("single-vector median must copy")
+	}
+}
+
+func TestRepVectorsMedianAcrossThreads(t *testing.T) {
+	set := NewMeasurementSet("t", "p", []string{"x"})
+	for thread, val := range []float64{5, 6, 100} {
+		if err := set.Add("e", Measurement{Rep: 0, Thread: thread, Vector: []float64{val}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vecs := set.RepVectors("e")
+	if len(vecs) != 1 || vecs[0][0] != 6 {
+		t.Fatalf("RepVectors = %v want [[6]]", vecs)
+	}
+}
+
+func TestMeasurementSetValidate(t *testing.T) {
+	set := NewMeasurementSet("t", "p", []string{"x", "y"})
+	if err := set.Add("e", Measurement{Vector: []float64{1}}); err == nil {
+		t.Fatalf("wrong-length vector should be rejected")
+	}
+	if err := set.Add("e", Measurement{Vector: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	set.Order = append(set.Order, "ghost")
+	if err := set.Validate(); err == nil {
+		t.Fatalf("ghost event should fail validation")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// Config holds the analysis thresholds. The defaults mirror the values the
+// paper uses for the low-noise benchmarks; cache analyses override Tau and
+// Alpha (Sections IV and V-E).
+type Config struct {
+	// Tau is the max-RNMSE noise threshold (Section IV). Events above it
+	// are filtered out.
+	Tau float64
+	// Alpha is the QRCP rounding/noise tolerance (Section V).
+	Alpha float64
+	// ProjectionTol is the maximum relative least-squares residual for an
+	// event to count as representable in the expectation basis
+	// (Section III-B).
+	ProjectionTol float64
+	// RoundTol is the coefficient-rounding tolerance for reported metric
+	// definitions (Section VI-D).
+	RoundTol float64
+}
+
+// DefaultConfig returns the paper's thresholds for low-noise (FLOPs,
+// branching) benchmarks: tau = 1e-10, alpha = 5e-4.
+func DefaultConfig() Config {
+	return Config{Tau: 1e-10, Alpha: 5e-4, ProjectionTol: 1e-2, RoundTol: 0.05}
+}
+
+// CacheConfig returns the paper's thresholds for the noisy data-cache
+// benchmark: tau = 1e-1, alpha = 5e-2.
+func CacheConfig() Config {
+	return Config{Tau: 1e-1, Alpha: 5e-2, ProjectionTol: 5e-2, RoundTol: 0.05}
+}
+
+// Pipeline runs the full analysis for one benchmark: noise filter ->
+// basis projection -> specialized QRCP -> metric definition.
+type Pipeline struct {
+	Basis  *Basis
+	Config Config
+}
+
+// Result is the outcome of the analysis stages prior to metric definition.
+type Result struct {
+	// Noise is the Section IV stage outcome.
+	Noise *NoiseReport
+	// Projection is the Section III-B stage outcome.
+	Projection *ProjectionReport
+	// QR is the Section V stage outcome.
+	QR *SpecializedQRCPResult
+	// SelectedEvents are the events whose representations form Xhat, in
+	// selection order.
+	SelectedEvents []string
+	// Xhat is the basis-dim x rank matrix of selected representations.
+	Xhat *mat.Dense
+}
+
+// Analyze runs noise filtering, projection and the specialized QRCP on a
+// measurement set.
+func (p *Pipeline) Analyze(set *MeasurementSet) (*Result, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Basis.CheckFullRank(); err != nil {
+		return nil, err
+	}
+	noise := FilterNoise(set, p.Config.Tau)
+	proj, err := BuildX(p.Basis, noise.Kept, noise.KeptOrder, p.Config.ProjectionTol)
+	if err != nil {
+		return nil, err
+	}
+	if len(proj.Order) == 0 {
+		return nil, fmt.Errorf("core: no events representable in the %s basis survived filtering", set.Benchmark)
+	}
+	qr := SpecializedQRCP(proj.X, p.Config.Alpha)
+	if qr.Rank == 0 {
+		return nil, fmt.Errorf("core: specialized QRCP selected no events for %s", set.Benchmark)
+	}
+	res := &Result{Noise: noise, Projection: proj, QR: qr}
+	for _, idx := range qr.Selected() {
+		res.SelectedEvents = append(res.SelectedEvents, proj.Order[idx])
+	}
+	res.Xhat = proj.X.ColSlice(qr.Selected())
+	return res, nil
+}
+
+// DefineMetric solves for one signature against the selected events.
+func (r *Result) DefineMetric(sig Signature) (*MetricDefinition, error) {
+	return DefineMetric(r.Xhat, r.SelectedEvents, sig)
+}
+
+// DefineMetrics solves every signature, returning definitions in order.
+func (r *Result) DefineMetrics(sigs []Signature) ([]*MetricDefinition, error) {
+	out := make([]*MetricDefinition, 0, len(sigs))
+	for _, s := range sigs {
+		def, err := r.DefineMetric(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, def)
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// Projection is one raw event expressed in expectation coordinates
+// (Section III-B): the least-squares solution of E * x = m.
+type Projection struct {
+	Event string
+	// X is the representation of the measurement vector in the basis.
+	X []float64
+	// RelResidual is ||E*x - m|| / ||m||: how much of the measurement the
+	// basis cannot explain.
+	RelResidual float64
+}
+
+// ProjectEvent solves E * x = m by least squares for one event measurement
+// vector. For projecting many events against the same basis, NewProjector
+// factorizes E once and is much faster.
+func ProjectEvent(b *Basis, event string, m []float64) (*Projection, error) {
+	p, err := NewProjector(b)
+	if err != nil {
+		return nil, err
+	}
+	return p.Project(event, m)
+}
+
+// Projector projects measurement vectors onto a basis using a Householder
+// QR factorization of E computed once — projecting an n-event catalog costs
+// one factorization plus n cheap triangular solves instead of n
+// factorizations.
+type Projector struct {
+	basis *Basis
+	qr    *mat.QR
+}
+
+// NewProjector factorizes the basis. The basis must be full rank (checked
+// via the factor's condition estimate).
+func NewProjector(b *Basis) (*Projector, error) {
+	qr := mat.Factorize(b.E)
+	if qr.RCond() < 1e-12 {
+		return nil, fmt.Errorf("core: basis is numerically rank deficient (rcond %.1e)", qr.RCond())
+	}
+	return &Projector{basis: b, qr: qr}, nil
+}
+
+// Project expresses one measurement vector in the basis.
+func (p *Projector) Project(event string, m []float64) (*Projection, error) {
+	if len(m) != p.basis.Points() {
+		return nil, fmt.Errorf("core: event %q vector has %d points, basis has %d",
+			event, len(m), p.basis.Points())
+	}
+	x, err := p.qr.Solve(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: projecting %q: %w", event, err)
+	}
+	res := mat.Norm2(mat.SubVec(mat.MatVec(p.basis.E, x), m))
+	nrm := mat.Norm2(m)
+	rel := 0.0
+	if nrm > 0 {
+		rel = res / nrm
+	}
+	return &Projection{Event: event, X: x, RelResidual: rel}, nil
+}
+
+// ProjectionReport is the outcome of the basis-projection stage.
+type ProjectionReport struct {
+	// Projections maps surviving events to their representations.
+	Projections map[string]*Projection
+	// Order lists surviving events in measurement order.
+	Order []string
+	// Dropped lists events whose relative residual exceeded the tolerance —
+	// events that cannot be sufficiently represented in the expectation
+	// space and are disregarded from further analysis.
+	Dropped []string
+	// X is the basis-dimension x len(Order) matrix whose columns are the
+	// representations, the input to the specialized QRCP.
+	X *mat.Dense
+}
+
+// BuildX projects every kept event onto the basis and assembles the X matrix
+// from those that fit within relTol.
+func BuildX(b *Basis, kept map[string][]float64, order []string, relTol float64) (*ProjectionReport, error) {
+	report := &ProjectionReport{Projections: make(map[string]*Projection)}
+	projector, err := NewProjector(b)
+	if err != nil {
+		return nil, err
+	}
+	var cols [][]float64
+	for _, event := range order {
+		m, ok := kept[event]
+		if !ok {
+			return nil, fmt.Errorf("core: event %q in order but not in kept set", event)
+		}
+		p, err := projector.Project(event, m)
+		if err != nil {
+			return nil, err
+		}
+		if p.RelResidual > relTol {
+			report.Dropped = append(report.Dropped, event)
+			continue
+		}
+		report.Projections[event] = p
+		report.Order = append(report.Order, event)
+		cols = append(cols, p.X)
+	}
+	report.X = mat.FromColumns(cols)
+	if len(cols) > 0 && report.X.Rows() != b.Dim() {
+		return nil, fmt.Errorf("core: internal error: X has %d rows, basis dim %d", report.X.Rows(), b.Dim())
+	}
+	return report, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+func sensitivityX() (*mat.Dense, []string) {
+	// Three clean basis-like columns, one scaled aggregate (exactly
+	// dependent), and a near-duplicate of column 0 whose 3e-4 noise lives
+	// in a dimension nothing else spans — so only the alpha tolerance
+	// decides whether it counts as independent.
+	cols := [][]float64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{2, 2, 0, 0},
+		{1.0003, 0, 0, -0.0002},
+	}
+	return mat.FromColumns(cols), []string{"A", "B", "C", "AGG", "A_DUP"}
+}
+
+func TestAlphaSensitivityStableRange(t *testing.T) {
+	x, names := sensitivityX()
+	alphas := DecadeSweep(1e-5, 1e-1, 9)
+	res, err := AlphaSensitivity(x, names, alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selections) != 9 {
+		t.Fatalf("selections = %d", len(res.Selections))
+	}
+	// The claim of Section V-E: a wide range of alphas agrees. Alphas from
+	// ~1e-3 upward absorb the 3e-4 noise on A_DUP and select {A, B, C}.
+	if res.StableCount < 4 {
+		t.Fatalf("stable range too narrow: %d of %d\n%s", res.StableCount, len(res.Selections), res)
+	}
+	if len(res.ConsensusEvents) != 3 {
+		t.Fatalf("consensus = %v", res.ConsensusEvents)
+	}
+}
+
+func TestAlphaSensitivityTightAlphaSeesDuplicate(t *testing.T) {
+	// A very strict alpha cannot absorb the duplicate's noise: rank 4.
+	x, names := sensitivityX()
+	res, err := AlphaSensitivity(x, names, []float64{1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selections[0].Events) != 4 {
+		t.Fatalf("strict alpha should see 4 independent columns, got %v", res.Selections[0].Events)
+	}
+}
+
+func TestAlphaSensitivityValidation(t *testing.T) {
+	x, names := sensitivityX()
+	if _, err := AlphaSensitivity(x, names[:2], []float64{1e-4}); err == nil {
+		t.Fatalf("name mismatch should fail")
+	}
+	if _, err := AlphaSensitivity(x, names, nil); err == nil {
+		t.Fatalf("empty sweep should fail")
+	}
+}
+
+func TestDecadeSweep(t *testing.T) {
+	s := DecadeSweep(1e-5, 1e-2, 4)
+	if len(s) != 4 {
+		t.Fatalf("sweep length %d", len(s))
+	}
+	if math.Abs(s[0]-1e-5) > 1e-20 || math.Abs(s[3]-1e-2)/1e-2 > 1e-12 {
+		t.Fatalf("sweep endpoints wrong: %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("sweep not increasing: %v", s)
+		}
+	}
+	if got := DecadeSweep(1e-3, 1e-3, 5); len(got) != 1 {
+		t.Fatalf("degenerate sweep should collapse: %v", got)
+	}
+}
+
+func TestSensitivityString(t *testing.T) {
+	x, names := sensitivityX()
+	res, err := AlphaSensitivity(x, names, DecadeSweep(1e-4, 1e-2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.String(); len(s) == 0 {
+		t.Fatalf("empty rendering")
+	}
+}
+
+func TestEqualAsSets(t *testing.T) {
+	if !equalAsSets([]string{"a", "b"}, []string{"b", "a"}) {
+		t.Fatalf("order must not matter")
+	}
+	if equalAsSets([]string{"a"}, []string{"a", "a"}) {
+		t.Fatalf("length must matter")
+	}
+	if equalAsSets([]string{"a", "b"}, []string{"a", "c"}) {
+		t.Fatalf("content must matter")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// This file implements the paper's stated future work: "methods to develop
+// different measures to quantify event noise and more rigorously select
+// noise suppression thresholds".
+
+// NoiseMeasure quantifies the run-to-run variability of an event from its
+// repetition vectors. The contract matches MaxRNMSE: 0 means identical
+// repetitions, ~1 means total disagreement.
+type NoiseMeasure func(vectors [][]float64) float64
+
+// MaxPairwiseMAD is an alternative noise measure: the maximum over vector
+// pairs of the median absolute elementwise deviation, normalized by the
+// combined mean magnitude. Medians make it robust to a single glitched
+// benchmark point, where the RNMSE's 2-norm is dominated by it.
+func MaxPairwiseMAD(vectors [][]float64) float64 {
+	maxErr := 0.0
+	for i := 0; i < len(vectors); i++ {
+		for j := i + 1; j < len(vectors); j++ {
+			scale := (meanAbs(vectors[i]) + meanAbs(vectors[j])) / 2
+			devs := make([]float64, len(vectors[i]))
+			for k := range devs {
+				devs[k] = math.Abs(vectors[i][k] - vectors[j][k])
+			}
+			sort.Float64s(devs)
+			med := devs[len(devs)/2]
+			if len(devs)%2 == 0 {
+				med = (devs[len(devs)/2-1] + devs[len(devs)/2]) / 2
+			}
+			// A nonzero median deviation implies a nonzero scale, so the
+			// ratio is always well defined.
+			var v float64
+			if med > 0 {
+				v = med / scale
+			}
+			if v > maxErr {
+				maxErr = v
+			}
+		}
+	}
+	return maxErr
+}
+
+// MaxCV is a coefficient-of-variation measure: the largest per-point
+// standard deviation across repetitions divided by that point's mean,
+// considering only points with a nonzero mean. It is the classical
+// "counter stability" statistic.
+func MaxCV(vectors [][]float64) float64 {
+	if len(vectors) < 2 {
+		return 0
+	}
+	n := len(vectors[0])
+	maxCV := 0.0
+	anyNonZeroMean := false
+	disagreeOnZero := false
+	for p := 0; p < n; p++ {
+		var sum, sumSq float64
+		for _, v := range vectors {
+			sum += v[p]
+			sumSq += v[p] * v[p]
+		}
+		mean := sum / float64(len(vectors))
+		variance := sumSq/float64(len(vectors)) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		if mean == 0 {
+			if variance > 0 {
+				disagreeOnZero = true
+			}
+			continue
+		}
+		anyNonZeroMean = true
+		if cv := math.Sqrt(variance) / math.Abs(mean); cv > maxCV {
+			maxCV = cv
+		}
+	}
+	if disagreeOnZero && maxCV < 1 {
+		// Repetitions disagree on a zero-mean point: total disagreement by
+		// the MaxRNMSE convention.
+		return 1
+	}
+	if !anyNonZeroMean {
+		return 0
+	}
+	return maxCV
+}
+
+func meanAbs(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return s / float64(len(x))
+}
+
+// FilterNoiseWith is FilterNoise with a pluggable noise measure. Glitched
+// counters (NaN/Inf readings, or a non-finite measure) are treated as
+// maximally noisy and filtered regardless of tau.
+func FilterNoiseWith(set *MeasurementSet, tau float64, measure NoiseMeasure) *NoiseReport {
+	report := &NoiseReport{Kept: make(map[string][]float64), Tau: tau}
+	for _, event := range set.Order {
+		vectors := set.RepVectors(event)
+		allZero := true
+		for _, v := range vectors {
+			if !mat.AllZero(v) {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			report.Discarded = append(report.Discarded, event)
+			continue
+		}
+		v := measure(vectors)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = math.Inf(1)
+		}
+		report.Variabilities = append(report.Variabilities, EventVariability{Event: event, MaxRNMSE: v})
+		if v > tau || !allFinite(vectors) {
+			report.Filtered = append(report.Filtered, event)
+			continue
+		}
+		report.Kept[event] = MeanVector(vectors)
+		report.KeptOrder = append(report.KeptOrder, event)
+	}
+	return report
+}
+
+// TauSuggestion is the outcome of automatic threshold selection.
+type TauSuggestion struct {
+	// Tau is the suggested threshold: the geometric midpoint of the widest
+	// gap in the sorted variability spectrum.
+	Tau float64
+	// GapDecades is the width of that gap in decades; a confident
+	// separation has several decades of daylight.
+	GapDecades float64
+	// Below and Above count events on each side of the gap.
+	Below, Above int
+}
+
+// floorVariability stands in for exact zeros on the log scale, mirroring how
+// the paper plots zero-noise events at machine epsilon.
+const floorVariability = 1e-16
+
+// SuggestTau selects a noise threshold automatically from a variability
+// spectrum (Section IV notes the choice is unambiguous whenever a wide gap
+// separates the zero-noise cluster from the noisy tail; this automates it).
+// It returns the geometric midpoint of the widest log-scale gap between
+// consecutive sorted variabilities. With fewer than two events — or a
+// degenerate single-cluster spectrum (gap under one decade) — the suggestion
+// falls back to the paper's default of 1e-10 with GapDecades reporting the
+// actual separation found.
+func SuggestTau(vars []EventVariability) TauSuggestion {
+	vals := make([]float64, 0, len(vars))
+	for _, v := range vars {
+		x := v.MaxRNMSE
+		if x < floorVariability {
+			x = floorVariability
+		}
+		vals = append(vals, x)
+	}
+	sort.Float64s(vals)
+	if len(vals) < 2 {
+		return TauSuggestion{Tau: 1e-10, GapDecades: 0, Below: len(vals)}
+	}
+	bestGap, bestIdx := 0.0, -1
+	for i := 0; i+1 < len(vals); i++ {
+		gap := math.Log10(vals[i+1]) - math.Log10(vals[i])
+		if gap > bestGap {
+			bestGap = gap
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 || bestGap < 1 {
+		return TauSuggestion{Tau: 1e-10, GapDecades: bestGap, Below: len(vals)}
+	}
+	mid := math.Sqrt(vals[bestIdx] * vals[bestIdx+1])
+	return TauSuggestion{
+		Tau:        mid,
+		GapDecades: bestGap,
+		Below:      bestIdx + 1,
+		Above:      len(vals) - bestIdx - 1,
+	}
+}

@@ -1,0 +1,75 @@
+package cpusim
+
+import "fmt"
+
+// LoopTrips are the canonical CAT loop trip counts: the three loops of every
+// FLOPs kernel execute their body this many times (Fig. 1 of the paper).
+var LoopTrips = [3]int{12, 24, 48}
+
+// FlopsKernelSpec identifies one CAT CPU-FLOPs microkernel: one point of the
+// Space = {scalar,128,256,512} x {FMA, non-FMA} x {SP, DP} grid.
+type FlopsKernelSpec struct {
+	Prec  Precision
+	Width Width
+	FMA   bool
+}
+
+// Name returns the canonical kernel name, e.g. "DP_256_FMA" or "SP_scalar".
+func (s FlopsKernelSpec) Name() string {
+	n := fmt.Sprintf("%s_%s", s.Prec, s.Width)
+	if s.FMA {
+		n += "_FMA"
+	}
+	return n
+}
+
+// FlopsKernelSpace enumerates all 16 CAT CPU-FLOPs kernels in canonical
+// order: SP widths, DP widths, SP FMA widths, DP FMA widths — matching the
+// expectation-basis column order of the paper's Section III-B.
+func FlopsKernelSpace() []FlopsKernelSpec {
+	var specs []FlopsKernelSpec
+	for _, fma := range []bool{false, true} {
+		for _, p := range []Precision{SP, DP} {
+			for _, w := range []Width{Scalar, W128, W256, W512} {
+				specs = append(specs, FlopsKernelSpec{Prec: p, Width: w, FMA: fma})
+			}
+		}
+	}
+	return specs
+}
+
+// BuildFlopsKernel constructs the microkernel for one spec. Non-FMA kernels
+// use a body of two FP instructions per trip (one add, one multiply), so the
+// three loops retire 24, 48 and 96 FP instructions; FMA kernels use a body of
+// one FMA, retiring 12, 24 and 48 instructions — the counts the paper's
+// K_SCAL and K^256_FMA examples carry.
+func BuildFlopsKernel(spec FlopsKernelSpec) *Kernel {
+	var body []Instr
+	if spec.FMA {
+		body = []Instr{{Op: OpFPFMA, Prec: spec.Prec, Width: spec.Width}}
+	} else {
+		body = []Instr{
+			{Op: OpFPAdd, Prec: spec.Prec, Width: spec.Width},
+			{Op: OpFPMul, Prec: spec.Prec, Width: spec.Width},
+		}
+	}
+	k := &Kernel{Name: spec.Name()}
+	for _, trips := range LoopTrips {
+		k.Blocks = append(k.Blocks, Block{Body: body, Trips: trips})
+	}
+	return k
+}
+
+// ExpectedFPInstrs returns the ideal per-loop FP instruction counts for a
+// spec: (24,48,96) for non-FMA kernels, (12,24,48) for FMA kernels.
+func ExpectedFPInstrs(spec FlopsKernelSpec) [3]float64 {
+	perTrip := 2.0
+	if spec.FMA {
+		perTrip = 1.0
+	}
+	var out [3]float64
+	for i, trips := range LoopTrips {
+		out[i] = perTrip * float64(trips)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package cpusim
+
+// Workload kernels beyond the CAT microbenchmarks: realistic instruction
+// mixes used to validate that metric definitions derived from CAT data
+// measure correctly on code they never saw. FLOP counts for each follow
+// from the instruction mix analytically.
+
+// TriadKernel models a STREAM-triad-style loop: a[i] = b[i] + s*c[i] with
+// AVX512 DP FMA, two loads and a store per vector, n vector iterations.
+func TriadKernel(n int) *Kernel {
+	return &Kernel{
+		Name: "triad",
+		Blocks: []Block{{
+			Body: []Instr{
+				{Op: OpLoad},
+				{Op: OpLoad},
+				{Op: OpFPFMA, Prec: DP, Width: W512},
+				{Op: OpStore},
+				{Op: OpIntAdd},
+			},
+			Trips: n,
+		}},
+	}
+}
+
+// DaxpyKernel models y += a*x with AVX256 DP FMA.
+func DaxpyKernel(n int) *Kernel {
+	return &Kernel{
+		Name: "daxpy",
+		Blocks: []Block{{
+			Body: []Instr{
+				{Op: OpLoad},
+				{Op: OpLoad},
+				{Op: OpFPFMA, Prec: DP, Width: W256},
+				{Op: OpStore},
+			},
+			Trips: n,
+		}},
+	}
+}
+
+// StencilKernel models a 1-D 3-point stencil in single precision: two adds
+// and a multiply per point, AVX256, with mixed loads.
+func StencilKernel(n int) *Kernel {
+	return &Kernel{
+		Name: "stencil3",
+		Blocks: []Block{{
+			Body: []Instr{
+				{Op: OpLoad},
+				{Op: OpLoad},
+				{Op: OpLoad},
+				{Op: OpFPAdd, Prec: SP, Width: W256},
+				{Op: OpFPAdd, Prec: SP, Width: W256},
+				{Op: OpFPMul, Prec: SP, Width: W256},
+				{Op: OpStore},
+			},
+			Trips: n,
+		}},
+	}
+}
+
+// DotKernel models a scalar double-precision dot-product cleanup loop.
+func DotKernel(n int) *Kernel {
+	return &Kernel{
+		Name: "dot-scalar",
+		Blocks: []Block{{
+			Body: []Instr{
+				{Op: OpLoad},
+				{Op: OpLoad},
+				{Op: OpFPFMA, Prec: DP, Width: Scalar},
+			},
+			Trips: n,
+		}},
+	}
+}
+
+// MixedPrecisionKernel interleaves SP and DP work across widths — the worst
+// case for precision-specific metrics.
+func MixedPrecisionKernel(n int) *Kernel {
+	return &Kernel{
+		Name: "mixed",
+		Blocks: []Block{
+			{
+				Body: []Instr{
+					{Op: OpFPFMA, Prec: DP, Width: W512},
+					{Op: OpFPMul, Prec: SP, Width: W128},
+					{Op: OpFPAdd, Prec: DP, Width: Scalar},
+				},
+				Trips: n,
+			},
+			{
+				Body: []Instr{
+					{Op: OpFPAdd, Prec: SP, Width: W512},
+					{Op: OpFPFMA, Prec: SP, Width: Scalar},
+				},
+				Trips: n / 2,
+			},
+		},
+	}
+}
+
+// TrueOps returns the workload's ground-truth floating-point operation
+// counts by precision, derived from the retired instruction mix.
+func TrueOps(c *Counts) (dpOps, spOps float64) {
+	for class, n := range c.FP {
+		ops := float64(class.Width.Lanes(class.Prec))
+		if class.FMA {
+			ops *= 2
+		}
+		if class.Prec == DP {
+			dpOps += ops * float64(n)
+		} else {
+			spOps += ops * float64(n)
+		}
+	}
+	return dpOps, spOps
+}

@@ -1,0 +1,171 @@
+// Package gpusim simulates the vector ALU of a GPU compute unit, the
+// substrate underneath the CAT GPU-FLOPs benchmark.
+//
+// The simulator dispatches wavefronts over a grid of compute units; each
+// wavefront executes a loop-structured VALU instruction stream, and the
+// per-shader-engine counters (the simulated SQ_INSTS_VALU_* family) retire
+// one count per wavefront instruction, regardless of lane count — which is
+// how the real MI250X counters behave and why the paper's GPU signatures
+// scale FMA kernels by two rather than by the vector width.
+package gpusim
+
+import "fmt"
+
+// OpType is a VALU operation kind.
+type OpType uint8
+
+const (
+	OpAdd OpType = iota
+	OpSub
+	OpMul
+	OpTrans // transcendental unit: sqrt, rcp, ...
+	OpFMA
+)
+
+// String returns the paper's single-letter symbol: A, S, M, SQ or F.
+func (o OpType) String() string {
+	switch o {
+	case OpAdd:
+		return "A"
+	case OpSub:
+		return "S"
+	case OpMul:
+		return "M"
+	case OpTrans:
+		return "SQ"
+	default:
+		return "F"
+	}
+}
+
+// Prec is a VALU operand precision.
+type Prec uint8
+
+const (
+	F16 Prec = iota
+	F32
+	F64
+)
+
+// String returns the paper's symbol: H, S or D.
+func (p Prec) String() string {
+	switch p {
+	case F16:
+		return "H"
+	case F32:
+		return "S"
+	default:
+		return "D"
+	}
+}
+
+// Bits returns the operand width in bits (16, 32 or 64).
+func (p Prec) Bits() int {
+	switch p {
+	case F16:
+		return 16
+	case F32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// InstrClass identifies a VALU instruction class as the counters see it.
+type InstrClass struct {
+	Op   OpType
+	Prec Prec
+}
+
+// String renders e.g. "FMA_F64" following the SQ_INSTS_VALU naming.
+func (c InstrClass) String() string {
+	op := map[OpType]string{OpAdd: "ADD", OpSub: "SUB", OpMul: "MUL", OpTrans: "TRANS", OpFMA: "FMA"}[c.Op]
+	return fmt.Sprintf("%s_F%d", op, c.Prec.Bits())
+}
+
+// Instr is one wavefront-wide VALU instruction.
+type Instr struct {
+	Op   OpType
+	Prec Prec
+}
+
+// OpsPerInstr returns arithmetic operations per instruction per lane:
+// 2 for FMA, 1 otherwise.
+func (in Instr) OpsPerInstr() int {
+	if in.Op == OpFMA {
+		return 2
+	}
+	return 1
+}
+
+// Block is a loop executed by every wavefront.
+type Block struct {
+	Body  []Instr
+	Trips int
+}
+
+// Kernel is a GPU microkernel: loop blocks executed by each wavefront.
+type Kernel struct {
+	Name   string
+	Blocks []Block
+}
+
+// Counts holds the simulated shader counters after a dispatch.
+type Counts struct {
+	VALU     map[InstrClass]uint64 // wavefront instructions per class
+	VALUAll  uint64                // all VALU instructions
+	SALU     uint64                // scalar ALU (loop scaffolding)
+	Waves    uint64                // wavefronts dispatched
+	Cycles   uint64                // simple occupancy cycle model
+	FLOPLane uint64                // per-lane FLOPs x lanes (total operations)
+}
+
+// NewCounts returns zeroed counters.
+func NewCounts() *Counts {
+	return &Counts{VALU: make(map[InstrClass]uint64)}
+}
+
+// Device models a GPU: a number of compute units, each retiring one VALU
+// instruction per cycle, with 64-lane wavefronts.
+type Device struct {
+	CUs       int
+	WaveLanes int
+}
+
+// DefaultDevice returns an MI250X-flavoured device (one GCD): 110 CUs,
+// 64-lane wavefronts.
+func DefaultDevice() *Device {
+	return &Device{CUs: 110, WaveLanes: 64}
+}
+
+// Dispatch launches `waves` wavefronts of the kernel and returns aggregated
+// counters. Every wavefront executes the full kernel; per-trip loop
+// scaffolding retires on the scalar unit (one add, one compare-and-branch),
+// mirroring how real GPU loops keep uniform control flow off the VALU.
+func (d *Device) Dispatch(k *Kernel, waves int) (*Counts, error) {
+	if waves <= 0 {
+		return nil, fmt.Errorf("gpusim: waves must be positive, got %d", waves)
+	}
+	c := NewCounts()
+	c.Waves = uint64(waves)
+	var perWaveVALU uint64
+	for _, b := range k.Blocks {
+		if b.Trips < 0 {
+			return nil, fmt.Errorf("gpusim: kernel %q has negative trip count", k.Name)
+		}
+		for trip := 0; trip < b.Trips; trip++ {
+			for _, in := range b.Body {
+				cls := InstrClass{Op: in.Op, Prec: in.Prec}
+				c.VALU[cls] += uint64(waves)
+				c.VALUAll += uint64(waves)
+				perWaveVALU++
+				c.FLOPLane += uint64(waves) * uint64(in.OpsPerInstr()) * uint64(d.WaveLanes)
+			}
+			c.SALU += 2 * uint64(waves)
+		}
+	}
+	// Occupancy model: waves round-robin over CUs, one VALU instr/cycle.
+	wavesPerCU := (waves + d.CUs - 1) / d.CUs
+	c.Cycles = uint64(wavesPerCU) * perWaveVALU
+	return c, nil
+}

@@ -1,0 +1,145 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpAndPrecSymbols(t *testing.T) {
+	if OpAdd.String() != "A" || OpTrans.String() != "SQ" || OpFMA.String() != "F" {
+		t.Fatalf("op symbols wrong")
+	}
+	if F16.String() != "H" || F32.String() != "S" || F64.String() != "D" {
+		t.Fatalf("precision symbols wrong")
+	}
+	if F16.Bits() != 16 || F64.Bits() != 64 {
+		t.Fatalf("precision bits wrong")
+	}
+}
+
+func TestInstrClassString(t *testing.T) {
+	if got := (InstrClass{Op: OpFMA, Prec: F64}).String(); got != "FMA_F64" {
+		t.Fatalf("class string = %q", got)
+	}
+	if got := (InstrClass{Op: OpTrans, Prec: F16}).String(); got != "TRANS_F16" {
+		t.Fatalf("class string = %q", got)
+	}
+}
+
+func TestOpsPerInstr(t *testing.T) {
+	if (Instr{Op: OpFMA, Prec: F32}).OpsPerInstr() != 2 {
+		t.Fatalf("FMA must be 2 ops")
+	}
+	if (Instr{Op: OpMul, Prec: F32}).OpsPerInstr() != 1 {
+		t.Fatalf("MUL must be 1 op")
+	}
+}
+
+func TestKernelSpace(t *testing.T) {
+	specs := KernelSpace()
+	if len(specs) != 15 {
+		t.Fatalf("kernel space = %d want 15", len(specs))
+	}
+	if specs[0].Symbol() != "AH" || specs[14].Symbol() != "FD" {
+		t.Fatalf("order wrong: %s ... %s", specs[0].Symbol(), specs[14].Symbol())
+	}
+}
+
+func TestDispatchCounts(t *testing.T) {
+	d := DefaultDevice()
+	k := BuildKernel(KernelSpec{Op: OpFMA, Prec: F64})
+	c, err := d.Dispatch(k, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerWave := uint64(2 * (12 + 24 + 48)) // 168 instructions
+	if got := c.VALU[InstrClass{Op: OpFMA, Prec: F64}]; got != 10*wantPerWave {
+		t.Fatalf("FMA_F64 = %d want %d", got, 10*wantPerWave)
+	}
+	if c.VALUAll != 10*wantPerWave {
+		t.Fatalf("VALUAll = %d", c.VALUAll)
+	}
+	// FMA: 2 ops x 64 lanes per instruction.
+	if c.FLOPLane != 10*wantPerWave*2*64 {
+		t.Fatalf("FLOPLane = %d", c.FLOPLane)
+	}
+	if c.Waves != 10 {
+		t.Fatalf("Waves = %d", c.Waves)
+	}
+}
+
+func TestDispatchScalarOverhead(t *testing.T) {
+	d := DefaultDevice()
+	c, err := d.Dispatch(BuildKernel(KernelSpec{Op: OpAdd, Prec: F32}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := uint64(12 + 24 + 48)
+	if c.SALU != 2*trips {
+		t.Fatalf("SALU = %d want %d", c.SALU, 2*trips)
+	}
+}
+
+func TestDispatchAddAndSubDistinctClasses(t *testing.T) {
+	// The *simulator* keeps add and sub distinct; merging them into one
+	// counter is the job of the MI250X event catalog, not the hardware model.
+	d := DefaultDevice()
+	add, _ := d.Dispatch(BuildKernel(KernelSpec{Op: OpAdd, Prec: F16}), 4)
+	if add.VALU[InstrClass{Op: OpSub, Prec: F16}] != 0 {
+		t.Fatalf("add kernel retired sub instructions")
+	}
+	sub, _ := d.Dispatch(BuildKernel(KernelSpec{Op: OpSub, Prec: F16}), 4)
+	if sub.VALU[InstrClass{Op: OpAdd, Prec: F16}] != 0 {
+		t.Fatalf("sub kernel retired add instructions")
+	}
+}
+
+func TestDispatchRejectsBadArgs(t *testing.T) {
+	d := DefaultDevice()
+	if _, err := d.Dispatch(BuildKernel(KernelSpec{}), 0); err == nil {
+		t.Fatalf("zero waves should fail")
+	}
+	if _, err := d.Dispatch(&Kernel{Blocks: []Block{{Trips: -1}}}, 1); err == nil {
+		t.Fatalf("negative trips should fail")
+	}
+}
+
+func TestCycleModelScalesWithWaves(t *testing.T) {
+	d := &Device{CUs: 4, WaveLanes: 64}
+	k := BuildKernel(KernelSpec{Op: OpMul, Prec: F32})
+	few, _ := d.Dispatch(k, 4)   // one wave per CU
+	many, _ := d.Dispatch(k, 16) // four waves per CU
+	if many.Cycles != 4*few.Cycles {
+		t.Fatalf("cycles should scale with occupancy: %d vs %d", many.Cycles, few.Cycles)
+	}
+}
+
+// Property: total VALU instructions are conserved across classes and scale
+// linearly in wave count.
+func TestDispatchLinearityProperty(t *testing.T) {
+	d := DefaultDevice()
+	f := func(opSel, precSel, wavesRaw uint8) bool {
+		spec := KernelSpec{Op: OpType(opSel % 5), Prec: Prec(precSel % 3)}
+		waves := int(wavesRaw%32) + 1
+		k := BuildKernel(spec)
+		c1, err1 := d.Dispatch(k, waves)
+		c2, err2 := d.Dispatch(k, 2*waves)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		var sum1 uint64
+		for _, v := range c1.VALU {
+			sum1 += v
+		}
+		return sum1 == c1.VALUAll && 2*c1.VALUAll == c2.VALUAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedInstrs(t *testing.T) {
+	if ExpectedInstrs() != [3]float64{24, 48, 96} {
+		t.Fatalf("expected instrs = %v", ExpectedInstrs())
+	}
+}

@@ -1,0 +1,65 @@
+package gpusim
+
+import "fmt"
+
+// LoopTrips are the canonical CAT loop trip counts, shared with the CPU
+// benchmark: each kernel has three loops whose bodies run 12, 24 and 48
+// times.
+var LoopTrips = [3]int{12, 24, 48}
+
+// KernelSpec identifies one CAT GPU-FLOPs microkernel: one (operation,
+// precision) pair.
+type KernelSpec struct {
+	Op   OpType
+	Prec Prec
+}
+
+// Name returns the canonical kernel name, e.g. "FMA_F64".
+func (s KernelSpec) Name() string {
+	return InstrClass{Op: s.Op, Prec: s.Prec}.String()
+}
+
+// Symbol returns the paper's expectation symbol, e.g. "FD" or "SQH".
+func (s KernelSpec) Symbol() string {
+	return fmt.Sprintf("%s%s", s.Op, s.Prec)
+}
+
+// KernelSpace enumerates the 15 CAT GPU-FLOPs kernels in the paper's
+// expectation-basis order: (A,S,M,SQ,F) x (H,S,D), precision fastest —
+// AH, AS, AD, SH, SS, SD, MH, ...
+func KernelSpace() []KernelSpec {
+	var specs []KernelSpec
+	for _, op := range []OpType{OpAdd, OpSub, OpMul, OpTrans, OpFMA} {
+		for _, p := range []Prec{F16, F32, F64} {
+			specs = append(specs, KernelSpec{Op: op, Prec: p})
+		}
+	}
+	return specs
+}
+
+// BuildKernel constructs the microkernel for one spec: three loops with a
+// two-instruction body, retiring 24, 48 and 96 wavefront instructions of the
+// spec's class — the same loop structure as the CPU benchmark, including for
+// FMA kernels (which is why the paper scales FMA signature entries by two
+// instead of changing the kernel).
+func BuildKernel(spec KernelSpec) *Kernel {
+	body := []Instr{
+		{Op: spec.Op, Prec: spec.Prec},
+		{Op: spec.Op, Prec: spec.Prec},
+	}
+	k := &Kernel{Name: spec.Name()}
+	for _, trips := range LoopTrips {
+		k.Blocks = append(k.Blocks, Block{Body: body, Trips: trips})
+	}
+	return k
+}
+
+// ExpectedInstrs returns the ideal per-loop wavefront instruction counts for
+// every GPU kernel: (24, 48, 96).
+func ExpectedInstrs() [3]float64 {
+	var out [3]float64
+	for i, trips := range LoopTrips {
+		out[i] = 2 * float64(trips)
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+// Package machine models the performance-monitoring side of a hardware
+// platform: a catalog of raw hardware events, each defined by its response to
+// the ground-truth statistics a workload simulator reports, plus a
+// deterministic noise model and the limited-physical-counter multiplexing that
+// real PMUs impose.
+//
+// This package is the substitution for the real Aurora (Intel Sapphire
+// Rapids) and Frontier (AMD MI250X) machines of the paper: the analysis
+// pipeline consumes only (event name -> measurement vector) data, and the
+// catalogs here produce vectors with the same structure — exact linear
+// responses for the architecturally meaningful events, derived and scaled
+// duplicates, and a heteroscedastic noisy tail — including the architectural
+// quirks the paper's results hinge on (FP_ARITH_INST_RETIRED counting FMA
+// twice; SQ_INSTS_VALU_ADD counting subtractions).
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Stats is the ground truth a workload simulator reports for one benchmark
+// point (one kernel loop, one sweep configuration, ...). Missing keys read
+// as zero, which is how events become all-zero — and therefore irrelevant —
+// on benchmarks that do not exercise them.
+type Stats map[string]float64
+
+// Get returns the value for key, or 0 when absent.
+func (s Stats) Get(key string) float64 { return s[key] }
+
+// EventDef defines one raw hardware event.
+type EventDef struct {
+	// Name is the PAPI-style event name, e.g.
+	// "FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE".
+	Name string
+	// Desc is a one-line description (vendor docs are famously thin; so are
+	// some of these, deliberately).
+	Desc string
+	// RelNoise is the relative run-to-run noise sigma; 0 means the event is
+	// deterministic.
+	RelNoise float64
+	// AbsNoise is an additive noise sigma in counts.
+	AbsNoise float64
+	// Respond maps workload ground truth to the event's ideal count.
+	Respond func(Stats) float64
+}
+
+// Catalog is an ordered set of event definitions.
+type Catalog struct {
+	events []EventDef
+	byName map[string]int
+}
+
+// NewCatalog builds a catalog, rejecting duplicate or unnamed events.
+func NewCatalog(events []EventDef) (*Catalog, error) {
+	c := &Catalog{byName: make(map[string]int, len(events))}
+	for _, e := range events {
+		if e.Name == "" {
+			return nil, fmt.Errorf("machine: event with empty name")
+		}
+		if e.Respond == nil {
+			return nil, fmt.Errorf("machine: event %q has no response model", e.Name)
+		}
+		if _, dup := c.byName[e.Name]; dup {
+			return nil, fmt.Errorf("machine: duplicate event %q", e.Name)
+		}
+		c.byName[e.Name] = len(c.events)
+		c.events = append(c.events, e)
+	}
+	return c, nil
+}
+
+// Len returns the number of events.
+func (c *Catalog) Len() int { return len(c.events) }
+
+// Names returns all event names in catalog order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.events))
+	for i, e := range c.events {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Lookup returns the definition of a named event.
+func (c *Catalog) Lookup(name string) (EventDef, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return EventDef{}, false
+	}
+	return c.events[i], true
+}
+
+// Platform is a simulated machine: a catalog plus PMU constraints.
+type Platform struct {
+	// Name identifies the platform (part of every noise seed, so two
+	// platforms never share noise streams).
+	Name string
+	// Catalog is the raw-event catalog.
+	Catalog *Catalog
+	// Counters is the number of physical programmable counters; measuring
+	// more events than this requires multiplexing across event groups, and
+	// each group constitutes a distinct run with its own noise draw.
+	Counters int
+	// Constraints optionally restricts which counters individual events may
+	// use (fixed architectural counters, restricted programmable events).
+	// When set, measurement uses the constraint-aware scheduler.
+	Constraints map[string]CounterConstraint
+}
+
+// Groups partitions event names into multiplexing groups, in catalog order.
+// Platforms with counter constraints go through the constraint-aware
+// scheduler; unconstrained platforms use plain counter-sized chunks.
+func (p *Platform) Groups(names []string) [][]string {
+	if p.Counters <= 0 {
+		return [][]string{names}
+	}
+	if len(p.Constraints) > 0 {
+		if scheduled, err := Schedule(names, p.Constraints, p.Counters); err == nil {
+			groups := make([][]string, len(scheduled))
+			for i, g := range scheduled {
+				// Deterministic order within the group: ascending slot.
+				slots := make([]int, 0, len(g.Events))
+				for slot := range g.Events {
+					slots = append(slots, slot)
+				}
+				sort.Ints(slots)
+				for _, slot := range slots {
+					groups[i] = append(groups[i], g.Events[slot])
+				}
+			}
+			return groups
+		}
+		// An unschedulable constraint set degrades to plain chunking rather
+		// than failing measurement outright.
+	}
+	var groups [][]string
+	for start := 0; start < len(names); start += p.Counters {
+		end := start + p.Counters
+		if end > len(names) {
+			end = len(names)
+		}
+		groups = append(groups, names[start:end])
+	}
+	return groups
+}
+
+// Measure measures the named events over a series of benchmark points for
+// one repetition on one thread, returning a measurement vector (one value
+// per point) per event. Noise is deterministic in
+// (platform, event, group, point, rep, thread): re-measuring with the same
+// coordinates reproduces identical values, while any coordinate change draws
+// fresh noise — exactly the structure run-to-run variability has on real
+// hardware.
+//
+// Multiplexing groups are measured concurrently; determinism is unaffected
+// because every value's noise seed depends only on its coordinates.
+func (p *Platform) Measure(points []Stats, names []string, rep, thread int) (map[string][]float64, error) {
+	groups := p.Groups(names)
+	type groupResult struct {
+		vectors map[string][]float64
+		err     error
+	}
+	results := make([]groupResult, len(groups))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	for gi, group := range groups {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(gi int, group []string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			vectors := make(map[string][]float64, len(group))
+			for _, name := range group {
+				def, ok := p.Catalog.Lookup(name)
+				if !ok {
+					results[gi].err = fmt.Errorf("machine: platform %s has no event %q", p.Name, name)
+					return
+				}
+				vec := make([]float64, len(points))
+				for pi, stats := range points {
+					ideal := def.Respond(stats)
+					vec[pi] = p.noisy(ideal, def, name, gi, pi, rep, thread)
+				}
+				vectors[name] = vec
+			}
+			results[gi].vectors = vectors
+		}(gi, group)
+	}
+	wg.Wait()
+	out := make(map[string][]float64, len(names))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for name, vec := range r.vectors {
+			out[name] = vec
+		}
+	}
+	return out, nil
+}
+
+// MeasureAll measures every cataloged event.
+func (p *Platform) MeasureAll(points []Stats, rep, thread int) (map[string][]float64, error) {
+	return p.Measure(points, p.Catalog.Names(), rep, thread)
+}
+
+// noisy perturbs an ideal count with the event's noise model.
+func (p *Platform) noisy(ideal float64, def EventDef, name string, group, point, rep, thread int) float64 {
+	if def.RelNoise == 0 && def.AbsNoise == 0 {
+		return ideal
+	}
+	r := newRNG(hashSeed(p.Name, name, uint64(group), uint64(point), uint64(rep), uint64(thread)))
+	v := ideal
+	if def.RelNoise != 0 {
+		v *= 1 + def.RelNoise*r.norm()
+	}
+	if def.AbsNoise != 0 {
+		v += def.AbsNoise * r.norm()
+	}
+	if v < 0 {
+		v = 0 // counters never go negative
+	}
+	return v
+}
+
+// SortedNames returns the catalog's event names sorted lexicographically —
+// handy for stable report output.
+func (c *Catalog) SortedNames() []string {
+	names := c.Names()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,318 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewCatalogValidation(t *testing.T) {
+	ok := EventDef{Name: "A", Respond: func(Stats) float64 { return 0 }}
+	if _, err := NewCatalog([]EventDef{ok, ok}); err == nil {
+		t.Fatalf("duplicate names should fail")
+	}
+	if _, err := NewCatalog([]EventDef{{Name: "", Respond: ok.Respond}}); err == nil {
+		t.Fatalf("empty name should fail")
+	}
+	if _, err := NewCatalog([]EventDef{{Name: "X"}}); err == nil {
+		t.Fatalf("missing response model should fail")
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c, err := NewCatalog([]EventDef{
+		{Name: "A", Respond: func(Stats) float64 { return 1 }},
+		{Name: "B", Respond: func(Stats) float64 { return 2 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Lookup("A"); !ok {
+		t.Fatalf("Lookup(A) failed")
+	}
+	if _, ok := c.Lookup("Z"); ok {
+		t.Fatalf("Lookup(Z) should fail")
+	}
+	names := c.Names()
+	if names[0] != "A" || names[1] != "B" {
+		t.Fatalf("Names order wrong: %v", names)
+	}
+}
+
+func TestStatsGetMissingKeyIsZero(t *testing.T) {
+	s := Stats{"x": 1}
+	if s.Get("absent") != 0 {
+		t.Fatalf("missing key should read 0")
+	}
+}
+
+func TestLinearResponse(t *testing.T) {
+	f := linearResponse(map[string]float64{"a": 2, "b": -1})
+	if got := f(Stats{"a": 3, "b": 4}); got != 2 {
+		t.Fatalf("linear response = %v want 2", got)
+	}
+	if got := linearResponse(nil)(Stats{"a": 1}); got != 0 {
+		t.Fatalf("nil-terms response should be 0")
+	}
+}
+
+func TestGroupsPartition(t *testing.T) {
+	p := &Platform{Name: "t", Counters: 3}
+	groups := p.Groups([]string{"a", "b", "c", "d", "e", "f", "g"})
+	if len(groups) != 3 || len(groups[0]) != 3 || len(groups[2]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	p.Counters = 0
+	if got := p.Groups([]string{"a"}); len(got) != 1 {
+		t.Fatalf("zero counters should degrade to one group")
+	}
+}
+
+func testPlatform(t *testing.T) *Platform {
+	t.Helper()
+	cat, err := NewCatalog([]EventDef{
+		{Name: "EXACT", Respond: linearResponse(map[string]float64{"x": 2})},
+		{Name: "NOISY", RelNoise: 0.1, Respond: linearResponse(map[string]float64{"x": 1})},
+		{Name: "ZERO", Respond: linearResponse(nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Platform{Name: "test-sim", Catalog: cat, Counters: 2}
+}
+
+func TestMeasureExactEventIsDeterministic(t *testing.T) {
+	p := testPlatform(t)
+	points := []Stats{{"x": 10}, {"x": 20}}
+	a, err := p.Measure(points, []string{"EXACT"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Measure(points, []string{"EXACT"}, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["EXACT"][0] != 20 || a["EXACT"][1] != 40 {
+		t.Fatalf("exact measurement wrong: %v", a["EXACT"])
+	}
+	for i := range a["EXACT"] {
+		if a["EXACT"][i] != b["EXACT"][i] {
+			t.Fatalf("noise-free event varies across reps")
+		}
+	}
+}
+
+func TestMeasureNoisyEventVariesAcrossReps(t *testing.T) {
+	p := testPlatform(t)
+	points := []Stats{{"x": 1000}}
+	a, _ := p.Measure(points, []string{"NOISY"}, 0, 0)
+	b, _ := p.Measure(points, []string{"NOISY"}, 1, 0)
+	if a["NOISY"][0] == b["NOISY"][0] {
+		t.Fatalf("noisy event identical across reps")
+	}
+	// Same coordinates reproduce identical values.
+	a2, _ := p.Measure(points, []string{"NOISY"}, 0, 0)
+	if a["NOISY"][0] != a2["NOISY"][0] {
+		t.Fatalf("noise not deterministic for equal coordinates")
+	}
+}
+
+func TestMeasureNoisyEventVariesAcrossThreads(t *testing.T) {
+	p := testPlatform(t)
+	points := []Stats{{"x": 1000}}
+	a, _ := p.Measure(points, []string{"NOISY"}, 0, 0)
+	b, _ := p.Measure(points, []string{"NOISY"}, 0, 1)
+	if a["NOISY"][0] == b["NOISY"][0] {
+		t.Fatalf("noisy event identical across threads")
+	}
+}
+
+func TestMeasureClampsNegative(t *testing.T) {
+	cat, _ := NewCatalog([]EventDef{
+		{Name: "N", RelNoise: 100, Respond: linearResponse(map[string]float64{"x": 1})},
+	})
+	p := &Platform{Name: "clamp", Catalog: cat, Counters: 1}
+	points := make([]Stats, 64)
+	for i := range points {
+		points[i] = Stats{"x": 1}
+	}
+	out, err := p.Measure(points, []string{"N"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out["N"] {
+		if v < 0 {
+			t.Fatalf("negative counter value %v", v)
+		}
+	}
+}
+
+func TestMeasureUnknownEvent(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.Measure([]Stats{{}}, []string{"NOPE"}, 0, 0); err == nil {
+		t.Fatalf("unknown event should error")
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := newRNG(12345)
+	n := 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestHashSeedDistinct(t *testing.T) {
+	a := hashSeed("x", uint64(1), uint64(2))
+	b := hashSeed("x", uint64(2), uint64(1))
+	c := hashSeed("y", uint64(1), uint64(2))
+	if a == b || a == c {
+		t.Fatalf("hash collisions across distinct coordinates")
+	}
+}
+
+func TestSpreadNoiseInRange(t *testing.T) {
+	for i := uint64(0); i < 200; i++ {
+		v := spreadNoise(nameHash(string(rune('a'+i%26))+string(rune(i))), 1e-6, 1e0)
+		if v < 1e-6 || v > 1e0 {
+			t.Fatalf("spreadNoise out of range: %v", v)
+		}
+	}
+}
+
+func TestSapphireRapidsCatalog(t *testing.T) {
+	p, err := SapphireRapids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Catalog.Len() < 250 {
+		t.Fatalf("SPR catalog too small: %d events", p.Catalog.Len())
+	}
+	// The 8 pure FP events must exist and count FMA twice.
+	def, ok := p.Catalog.Lookup("FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE")
+	if !ok {
+		t.Fatalf("FP_ARITH event missing")
+	}
+	got := def.Respond(Stats{FPKey("dp", "256", false): 10, FPKey("dp", "256", true): 5})
+	if got != 20 { // 10 non-FMA + 2*5 FMA
+		t.Fatalf("FMA double-count broken: %v want 20", got)
+	}
+	if def.RelNoise != 0 {
+		t.Fatalf("FP events must be noise-free")
+	}
+	// No executed-branches event may exist (Table VII depends on this).
+	for _, name := range p.Catalog.Names() {
+		if strings.Contains(name, "BR_INST_EXEC") {
+			t.Fatalf("SPR catalog must not expose executed-branch events")
+		}
+	}
+}
+
+func TestSapphireRapidsBranchEvents(t *testing.T) {
+	p, err := SapphireRapids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Stats{KeyBrCR: 100, KeyBrTaken: 60, KeyBrDirect: 10, KeyBrMisp: 5}
+	cases := map[string]float64{
+		"BR_INST_RETIRED:COND":         100,
+		"BR_INST_RETIRED:COND_TAKEN":   60,
+		"BR_INST_RETIRED:COND_NTAKEN":  40,
+		"BR_INST_RETIRED:ALL_BRANCHES": 110,
+		"BR_MISP_RETIRED":              5,
+	}
+	for name, want := range cases {
+		def, ok := p.Catalog.Lookup(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if got := def.Respond(stats); got != want {
+			t.Errorf("%s = %v want %v", name, got, want)
+		}
+	}
+}
+
+func TestMI250XCatalog(t *testing.T) {
+	p, err := MI250X()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Catalog.Len() < 900 {
+		t.Fatalf("MI250X catalog too small: %d events", p.Catalog.Len())
+	}
+	// ADD must count subs too.
+	def, ok := p.Catalog.Lookup("rocm:::SQ_INSTS_VALU_ADD_F16:device=0")
+	if !ok {
+		t.Fatalf("VALU ADD event missing")
+	}
+	got := def.Respond(Stats{GPUValuKey("add", "f16"): 7, GPUValuKey("sub", "f16"): 3})
+	if got != 10 {
+		t.Fatalf("ADD+SUB merge broken: %v want 10", got)
+	}
+	// Idle devices read zero.
+	idle, ok := p.Catalog.Lookup("rocm:::SQ_INSTS_VALU_ADD_F16:device=3")
+	if !ok {
+		t.Fatalf("idle-device event missing")
+	}
+	if idle.Respond(Stats{GPUValuKey("add", "f16"): 7}) != 0 {
+		t.Fatalf("idle device must read zero")
+	}
+}
+
+func TestSPRUsesConstraintScheduler(t *testing.T) {
+	p, err := SapphireRapids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two fixed-counter events plus eight programmable events fit a single
+	// multiplexing round on the 8-counter SPR.
+	names := []string{
+		"INST_RETIRED:ANY", "CPU_CLK_UNHALTED:THREAD",
+		"FP_ARITH_INST_RETIRED:SCALAR_SINGLE", "FP_ARITH_INST_RETIRED:128B_PACKED_SINGLE",
+		"FP_ARITH_INST_RETIRED:256B_PACKED_SINGLE", "FP_ARITH_INST_RETIRED:512B_PACKED_SINGLE",
+		"FP_ARITH_INST_RETIRED:SCALAR_DOUBLE", "FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE",
+		"FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE", "FP_ARITH_INST_RETIRED:512B_PACKED_DOUBLE",
+	}
+	groups := p.Groups(names)
+	if len(groups) != 1 {
+		t.Fatalf("fixed counters should absorb the architectural events: %d rounds %v", len(groups), groups)
+	}
+	// All names scheduled exactly once.
+	seen := map[string]bool{}
+	for _, g := range groups {
+		for _, n := range g {
+			if seen[n] {
+				t.Fatalf("event %s scheduled twice", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != len(names) {
+		t.Fatalf("scheduled %d of %d events", len(seen), len(names))
+	}
+}
+
+func TestPlatformsHaveDistinctNoiseStreams(t *testing.T) {
+	spr, _ := SapphireRapids()
+	stats := []Stats{{KeyL1Hit: 1000}}
+	a, _ := spr.Measure(stats, []string{"MEM_LOAD_RETIRED:L1_HIT"}, 0, 0)
+	spr2 := &Platform{Name: "other", Catalog: spr.Catalog, Counters: spr.Counters}
+	b, _ := spr2.Measure(stats, []string{"MEM_LOAD_RETIRED:L1_HIT"}, 0, 0)
+	if a["MEM_LOAD_RETIRED:L1_HIT"][0] == b["MEM_LOAD_RETIRED:L1_HIT"][0] {
+		t.Fatalf("platform name must participate in the noise seed")
+	}
+}

@@ -1,0 +1,80 @@
+package machine
+
+import "math"
+
+// rng is a splitmix64 generator: tiny, fast, and deterministic from a seed,
+// which is all the noise model needs.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed}
+}
+
+// next returns the next 64 pseudo-random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniform returns a float64 in (0, 1).
+func (r *rng) uniform() float64 {
+	// 53 random mantissa bits; add 1 ulp to stay strictly above zero.
+	return (float64(r.next()>>11) + 0.5) / (1 << 53)
+}
+
+// norm returns a standard normal variate via the Box-Muller transform.
+func (r *rng) norm() float64 {
+	u1 := r.uniform()
+	u2 := r.uniform()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// hashSeed folds a string-and-integers coordinate tuple into a 64-bit seed
+// using FNV-1a.
+func hashSeed(parts ...interface{}) uint64 {
+	const (
+		offset = 1469598103934665603
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for _, p := range parts {
+		switch v := p.(type) {
+		case string:
+			for i := 0; i < len(v); i++ {
+				mix(v[i])
+			}
+			mix(0xff) // separator
+		case uint64:
+			for i := 0; i < 8; i++ {
+				mix(byte(v >> (8 * i)))
+			}
+		default:
+			panic("machine: unsupported seed part")
+		}
+	}
+	return h
+}
+
+// nameHash returns a deterministic 64-bit hash of an event name, used to
+// derive stable per-event synthetic parameters (noise magnitudes, filler
+// response coefficients).
+func nameHash(name string) uint64 {
+	return hashSeed(name)
+}
+
+// spreadNoise maps a hash to a noise sigma log-uniformly distributed in
+// [lo, hi] — this is what produces the sloped noisy tail in the paper's
+// Figure 2 variability plots.
+func spreadNoise(h uint64, lo, hi float64) float64 {
+	u := float64(h>>11) / (1 << 53)
+	return lo * math.Pow(hi/lo, u)
+}

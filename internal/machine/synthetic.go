@@ -1,0 +1,79 @@
+package machine
+
+import "fmt"
+
+// SyntheticCatalog generates a platform with an arbitrarily large raw-event
+// catalog for scalability testing — modern HPC systems expose events on the
+// order of hundreds of thousands (the paper's motivation), and the analysis
+// pipeline must stay tractable at that scale.
+//
+// The catalog embeds the same architecturally meaningful core as the SPR
+// platform (events the analysis should find) inside a sea of generated
+// events whose responses and noise derive from their name hash:
+//
+//   - ~1/3 respond to nothing (all-zero, discarded as irrelevant),
+//   - ~1/3 respond to generic activity with noise above any sensible tau,
+//   - ~1/3 are noisy linear combinations of real subsystem stats.
+//
+// The signal events occupy a deterministic but arbitrary position in the
+// catalog order, so scale tests also exercise ordering robustness.
+func SyntheticCatalog(nFiller int, seed uint64) (*Platform, error) {
+	base, err := SapphireRapids()
+	if err != nil {
+		return nil, err
+	}
+	var events []EventDef
+	drivers := [][]string{
+		nil, // all-zero family
+		{KeyInstr, KeyCycles},
+		{KeyL1Miss, KeyL2Miss},
+		{KeyBrMisp, KeyCycles},
+		{KeyLoads, KeyStores},
+		{KeyMemAcc},
+	}
+	for i := 0; i < nFiller; i++ {
+		name := fmt.Sprintf("SYN_%04x_%06d", (seed^uint64(i)*0x9e3779b9)&0xffff, i)
+		h := nameHash(name)
+		fam := drivers[h%uint64(len(drivers))]
+		def := EventDef{Name: name, Desc: "synthetic scale-test event"}
+		if len(fam) == 0 {
+			def.Respond = linearResponse(nil)
+		} else {
+			terms := make(map[string]float64, len(fam))
+			for di, d := range fam {
+				terms[d] = 0.01 + float64((h>>(8*uint(di)))&0xff)/64
+			}
+			def.Respond = linearResponse(terms)
+			def.RelNoise = spreadNoise(h, 1e-8, 1e1)
+		}
+		events = append(events, def)
+		// Interleave the real catalog one event at a time so signal events
+		// are scattered through the order.
+		if stride := nFiller/base.Catalog.Len() + 1; i%stride == 0 {
+			if idx := i / stride; idx < base.Catalog.Len() {
+				real, _ := base.Catalog.Lookup(base.Catalog.Names()[idx])
+				events = append(events, real)
+			}
+		}
+	}
+	// Append any real events that did not get interleaved.
+	present := make(map[string]bool, len(events))
+	for _, e := range events {
+		present[e.Name] = true
+	}
+	for _, name := range base.Catalog.Names() {
+		if !present[name] {
+			real, _ := base.Catalog.Lookup(name)
+			events = append(events, real)
+		}
+	}
+	cat, err := NewCatalog(events)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{
+		Name:     fmt.Sprintf("synthetic-%d", nFiller),
+		Catalog:  cat,
+		Counters: 8,
+	}, nil
+}

@@ -1,0 +1,162 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// spdMatrix returns a random symmetric positive definite matrix.
+func spdMatrix(rng *rand.Rand, n int) *Dense {
+	a := randomDense(rng, n+2, n)
+	ata := MatTMul(a, a)
+	for i := 0; i < n; i++ {
+		ata.Set(i, i, ata.At(i, i)+0.5) // keep well away from singular
+	}
+	return ata
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(10)
+		a := spdMatrix(rng, n)
+		c, err := FactorizeCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := c.L()
+		recon := MatMul(l, l.Transpose())
+		if !recon.EqualApprox(a, 1e-9) {
+			t.Fatalf("trial %d: L*Lᵀ != A", trial)
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := spdMatrix(rng, 6)
+	want := make([]float64, 6)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := MatVec(a, want)
+	c, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := c.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqualApprox(x, want, 1e-8) {
+		t.Fatalf("solve = %v want %v", x, want)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	// Negative eigenvalue.
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1})
+	if _, err := FactorizeCholesky(a); err == nil {
+		t.Fatalf("indefinite matrix should fail")
+	}
+	// Not square.
+	if _, err := FactorizeCholesky(NewDense(2, 3)); err == nil {
+		t.Fatalf("rectangular matrix should fail")
+	}
+	// Exactly singular.
+	if _, err := FactorizeCholesky(NewDense(2, 2)); err == nil {
+		t.Fatalf("zero matrix should fail")
+	}
+}
+
+func TestCholeskySolveBadRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	c, err := FactorizeCholesky(spdMatrix(rng, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve([]float64{1}); err == nil {
+		t.Fatalf("short rhs should fail")
+	}
+}
+
+func TestLeastSquaresNormalMatchesQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 20; trial++ {
+		m := 5 + rng.Intn(15)
+		n := 1 + rng.Intn(4)
+		a := randomDense(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		qr, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ne, err := LeastSquaresNormal(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VecEqualApprox(qr.X, ne.X, 1e-8) {
+			t.Fatalf("trial %d: QR %v vs normal equations %v", trial, qr.X, ne.X)
+		}
+		if math.Abs(qr.Residual-ne.Residual) > 1e-8 {
+			t.Fatalf("residuals differ: %v vs %v", qr.Residual, ne.Residual)
+		}
+	}
+}
+
+func TestLeastSquaresNormalRefusesIllConditioned(t *testing.T) {
+	// Nearly dependent columns: QR still works; normal equations refuse
+	// rather than silently losing precision.
+	col := []float64{1, 1, 1, 1}
+	col2 := []float64{1, 1, 1, 1 + 1e-9}
+	a := FromColumns([][]float64{col, col2})
+	if _, err := LeastSquaresNormal(a, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatalf("ill-conditioned system should be refused")
+	}
+}
+
+func TestLeastSquaresNormalValidation(t *testing.T) {
+	if _, err := LeastSquaresNormal(NewDense(2, 3), []float64{1, 2}); err == nil {
+		t.Fatalf("underdetermined should fail")
+	}
+	if _, err := LeastSquaresNormal(NewDense(2, 2), []float64{1}); err == nil {
+		t.Fatalf("bad rhs should fail")
+	}
+	if _, err := LeastSquaresNormal(NewDense(2, 0), []float64{1, 2}); err == nil {
+		t.Fatalf("zero columns should fail")
+	}
+}
+
+func BenchmarkLeastSquaresQR(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	a := randomDense(rng, 128, 16)
+	rhs := make([]float64, 128)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquaresNormalEquations(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	a := randomDense(rng, 128, 16)
+	rhs := make([]float64, 128)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquaresNormal(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

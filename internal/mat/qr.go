@@ -1,0 +1,206 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q*R of an m-by-n matrix with
+// m >= n. Q is m-by-m orthogonal (stored implicitly as Householder
+// reflectors), and R is m-by-n upper triangular.
+type QR struct {
+	qr   *Dense    // packed factors: R in the upper triangle, reflectors below
+	tau  []float64 // scalar factors of the reflectors
+	m, n int
+}
+
+// Factorize computes the QR factorization of a. It panics if a has fewer rows
+// than columns; use LeastSquares for the general solve path.
+func Factorize(a *Dense) *QR {
+	m, n := a.Dims()
+	if m < n {
+		panic(fmt.Sprintf("mat: QR requires rows >= cols, got %dx%d", m, n))
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	work := make([]float64, m)
+	for k := 0; k < n; k++ {
+		houseColumn(qr, k, k, tau, work)
+	}
+	return &QR{qr: qr, tau: tau, m: m, n: n}
+}
+
+// houseColumn generates the Householder reflector annihilating column col
+// below row `row` of packed, stores it in place, records tau[col], and applies
+// it to the trailing columns.
+func houseColumn(packed *Dense, row, col int, tau, work []float64) {
+	m, n := packed.Dims()
+	// Compute the norm of the column segment packed[row:m, col].
+	var seg []float64
+	for i := row; i < m; i++ {
+		seg = append(seg, packed.At(i, col))
+	}
+	alpha := seg[0]
+	norm := Norm2(seg)
+	if norm == 0 {
+		tau[col] = 0
+		return
+	}
+	beta := -math.Copysign(norm, alpha)
+	t := (beta - alpha) / beta
+	scale := 1 / (alpha - beta)
+	// v = [1, packed[row+1:m,col]*scale]; store tail in place, beta on diag.
+	packed.Set(row, col, beta)
+	for i := row + 1; i < m; i++ {
+		packed.Set(i, col, packed.At(i, col)*scale)
+	}
+	tau[col] = t
+	// Apply I - t*v*vᵀ to trailing columns [col+1, n).
+	for j := col + 1; j < n; j++ {
+		// w = vᵀ * packed[row:m, j]
+		w := packed.At(row, j)
+		for i := row + 1; i < m; i++ {
+			w += packed.At(i, col) * packed.At(i, j)
+		}
+		w *= t
+		packed.Set(row, j, packed.At(row, j)-w)
+		for i := row + 1; i < m; i++ {
+			packed.Set(i, j, packed.At(i, j)-w*packed.At(i, col))
+		}
+	}
+	_ = work
+}
+
+// HouseholderStep performs one Householder elimination step on a packed
+// working matrix: it generates the reflector annihilating column k below row
+// k, stores it in place, records tau[k], and applies it to the trailing
+// columns. Exported for externally driven pivoted factorizations (the
+// specialized QRCP of the analysis pipeline).
+func HouseholderStep(work *Dense, k int, tau []float64) {
+	houseColumn(work, k, k, tau, nil)
+}
+
+// R returns the n-by-n upper-triangular factor.
+func (f *QR) R() *Dense {
+	r := NewDense(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		for j := i; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// QTVec applies Qᵀ to b in place; b must have length m.
+func (f *QR) QTVec(b []float64) {
+	if len(b) != f.m {
+		panic(fmt.Sprintf("mat: QTVec length %d, want %d", len(b), f.m))
+	}
+	for k := 0; k < f.n; k++ {
+		t := f.tau[k]
+		if t == 0 {
+			continue
+		}
+		w := b[k]
+		for i := k + 1; i < f.m; i++ {
+			w += f.qr.At(i, k) * b[i]
+		}
+		w *= t
+		b[k] -= w
+		for i := k + 1; i < f.m; i++ {
+			b[i] -= w * f.qr.At(i, k)
+		}
+	}
+}
+
+// QVec applies Q to b in place; b must have length m.
+func (f *QR) QVec(b []float64) {
+	if len(b) != f.m {
+		panic(fmt.Sprintf("mat: QVec length %d, want %d", len(b), f.m))
+	}
+	for k := f.n - 1; k >= 0; k-- {
+		t := f.tau[k]
+		if t == 0 {
+			continue
+		}
+		w := b[k]
+		for i := k + 1; i < f.m; i++ {
+			w += f.qr.At(i, k) * b[i]
+		}
+		w *= t
+		b[k] -= w
+		for i := k + 1; i < f.m; i++ {
+			b[i] -= w * f.qr.At(i, k)
+		}
+	}
+}
+
+// Q materializes the thin m-by-n orthonormal factor.
+func (f *QR) Q() *Dense {
+	q := NewDense(f.m, f.n)
+	col := make([]float64, f.m)
+	for j := 0; j < f.n; j++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[j] = 1
+		f.QVec(col)
+		q.SetCol(j, col)
+	}
+	return q
+}
+
+// Solve solves the least-squares problem min ‖A*x - b‖₂ using the
+// factorization, returning x of length n. b must have length m.
+// It returns an error if R is singular to working precision.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		return nil, fmt.Errorf("mat: QR solve rhs length %d, want %d", len(b), f.m)
+	}
+	c := CloneVec(b)
+	f.QTVec(c)
+	x := make([]float64, f.n)
+	copy(x, c[:f.n])
+	if err := f.solveRInPlace(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveRInPlace back-substitutes R*x = rhs, overwriting rhs with x.
+func (f *QR) solveRInPlace(rhs []float64) error {
+	for i := f.n - 1; i >= 0; i-- {
+		d := f.qr.At(i, i)
+		if d == 0 {
+			return fmt.Errorf("mat: singular R at diagonal %d", i)
+		}
+		s := rhs[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * rhs[j]
+		}
+		rhs[i] = s / d
+	}
+	return nil
+}
+
+// RCond estimates the reciprocal condition number of R from the ratio of the
+// smallest to largest absolute diagonal entries. Zero means exactly singular.
+func (f *QR) RCond() float64 {
+	if f.n == 0 {
+		return 1
+	}
+	min, max := math.Inf(1), 0.0
+	for i := 0; i < f.n; i++ {
+		d := math.Abs(f.qr.At(i, i))
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return min / max
+}

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullReproductionPasses(t *testing.T) {
+	// The single most important test in the repository: the complete
+	// reproduction, checked against every expected shape from the paper.
+	rep, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checks) < 25 {
+		t.Fatalf("only %d checks ran; expected the full table/figure suite", len(rep.Checks))
+	}
+	for _, c := range rep.Failed() {
+		t.Errorf("FAIL %s: %s", c.ID, c.Detail)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	rep := &Report{}
+	rep.add("a/b", true, "fine")
+	rep.add("c/d", false, "broken: %d", 7)
+	md := rep.Markdown()
+	if !strings.Contains(md, "1 of 2 checks FAIL") {
+		t.Fatalf("summary wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| a/b | PASS | fine |") {
+		t.Fatalf("pass row wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| c/d | **FAIL** | broken: 7 |") {
+		t.Fatalf("fail row wrong:\n%s", md)
+	}
+}
+
+func TestFailedFilter(t *testing.T) {
+	rep := &Report{}
+	rep.add("x", true, "ok")
+	if len(rep.Failed()) != 0 {
+		t.Fatalf("no failures expected")
+	}
+	rep.add("y", false, "bad")
+	if got := rep.Failed(); len(got) != 1 || got[0].ID != "y" {
+		t.Fatalf("Failed() = %v", got)
+	}
+}

@@ -1,0 +1,69 @@
+package suite
+
+import (
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/machine"
+)
+
+func cpuFlopsDefs(t *testing.T) []*core.MetricDefinition {
+	t.Helper()
+	b, err := ByName("cpu-flops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := b.Analyze(cat.RunConfig{Reps: 2, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := res.DefineMetrics(b.Signatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return defs
+}
+
+func TestPlanMeasurementCPUFlops(t *testing.T) {
+	platform, err := machine.SapphireRapids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := cpuFlopsDefs(t)
+	plan, err := PlanMeasurement(platform, defs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All six FP metrics reference the same 8 FP_ARITH events, which fit
+	// the 8 programmable counters in a single round.
+	if len(plan.Events) != 8 {
+		t.Fatalf("events = %v", plan.Events)
+	}
+	if plan.Rounds() != 1 {
+		t.Fatalf("rounds = %d want 1 (%v)", plan.Rounds(), plan.Groups)
+	}
+}
+
+func TestPlanMeasurementCrossPlatformRejected(t *testing.T) {
+	// SPR-derived metric definitions reference events Zen4 does not have.
+	zen4, err := machine.Zen4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := cpuFlopsDefs(t)
+	if _, err := PlanMeasurement(zen4, defs, 0.05); err == nil {
+		t.Fatalf("cross-platform plan should fail")
+	}
+}
+
+func TestPlanMeasurementEmpty(t *testing.T) {
+	platform, err := machine.SapphireRapids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := []*core.MetricDefinition{{Metric: "none", Terms: []core.Term{{Event: "X", Coeff: 1e-12}}}}
+	if _, err := PlanMeasurement(platform, empty, 0.05); err == nil {
+		t.Fatalf("all-zero metrics should fail to plan")
+	}
+}

@@ -1,0 +1,154 @@
+// Package suite wires the four CAT benchmarks to their platforms, bases,
+// thresholds and signature tables, giving the command-line tools, examples
+// and benchmark harness one registry to drive the complete reproduction.
+package suite
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/machine"
+)
+
+// Benchmark bundles everything needed to run and analyze one CAT benchmark.
+type Benchmark struct {
+	// Name is the registry key: "cpu-flops", "gpu-flops", "branch", "dcache".
+	Name string
+	// Description is a one-line summary.
+	Description string
+	// SignatureTable and MetricTable are the paper's table numbers
+	// (I-IV and V-VIII) this benchmark reproduces.
+	SignatureTable string
+	MetricTable    string
+	// Figure is the paper's variability figure for this benchmark (2a-2d).
+	Figure string
+	// NewPlatform constructs the simulated machine.
+	NewPlatform func() (*machine.Platform, error)
+	// Basis constructs the expectation basis.
+	Basis func() (*core.Basis, error)
+	// Run collects measurements.
+	Run func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error)
+	// Config holds the analysis thresholds for this benchmark.
+	Config core.Config
+	// Signatures are the metric signatures to define.
+	Signatures []core.Signature
+	// BasisSymbols are the ideal-event names for signature rendering.
+	BasisSymbols []string
+	// DefaultRun is the default collection configuration.
+	DefaultRun cat.RunConfig
+}
+
+// All returns the four benchmarks in paper order.
+func All() []Benchmark {
+	return []Benchmark{
+		{
+			Name:           "cpu-flops",
+			Description:    "CPU floating-point units (Intel Sapphire Rapids sim)",
+			SignatureTable: "I",
+			MetricTable:    "V",
+			Figure:         "2b",
+			NewPlatform:    machine.SapphireRapids,
+			Basis:          func() (*core.Basis, error) { return cat.NewFlopsCPU().Basis() },
+			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
+				return cat.NewFlopsCPU().Run(p, cfg)
+			},
+			Config:       core.DefaultConfig(),
+			Signatures:   core.CPUFlopsSignatures(),
+			BasisSymbols: core.CPUFlopsBasisSymbols(),
+			DefaultRun:   cat.DefaultRunConfig(),
+		},
+		{
+			Name:           "gpu-flops",
+			Description:    "GPU floating-point units (AMD MI250X sim)",
+			SignatureTable: "II",
+			MetricTable:    "VI",
+			Figure:         "2c",
+			NewPlatform:    machine.MI250X,
+			Basis:          func() (*core.Basis, error) { return cat.NewFlopsGPU().Basis() },
+			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
+				return cat.NewFlopsGPU().Run(p, cfg)
+			},
+			Config:       core.DefaultConfig(),
+			Signatures:   core.GPUFlopsSignatures(),
+			BasisSymbols: core.GPUFlopsBasisSymbols(),
+			DefaultRun:   cat.DefaultRunConfig(),
+		},
+		{
+			Name:           "branch",
+			Description:    "branching unit (Intel Sapphire Rapids sim)",
+			SignatureTable: "III",
+			MetricTable:    "VII",
+			Figure:         "2a",
+			NewPlatform:    machine.SapphireRapids,
+			Basis:          func() (*core.Basis, error) { return cat.NewBranch().Basis() },
+			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
+				return cat.NewBranch().Run(p, cfg)
+			},
+			Config:       core.DefaultConfig(),
+			Signatures:   core.BranchSignatures(),
+			BasisSymbols: core.BranchBasisSymbols(),
+			DefaultRun:   cat.DefaultRunConfig(),
+		},
+		{
+			Name:           "dcache",
+			Description:    "data caches, multi-threaded pointer chases (Intel Sapphire Rapids sim)",
+			SignatureTable: "IV",
+			MetricTable:    "VIII",
+			Figure:         "2d",
+			NewPlatform:    machine.SapphireRapids,
+			Basis:          func() (*core.Basis, error) { return cat.NewDCache().Basis() },
+			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
+				return cat.NewDCache().Run(p, cfg)
+			},
+			Config:       core.CacheConfig(),
+			Signatures:   core.CacheSignatures(),
+			BasisSymbols: core.CacheBasisSymbols(),
+			DefaultRun:   cat.RunConfig{Reps: 5, Threads: 4},
+		},
+	}
+}
+
+// ByName looks a benchmark up by registry key.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("suite: unknown benchmark %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns the registry keys in order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Analyze runs the full pipeline for one benchmark and returns the analysis
+// result together with the measurement set it consumed.
+func (b Benchmark) Analyze(cfg cat.RunConfig) (*core.Result, *core.MeasurementSet, error) {
+	platform, err := b.NewPlatform()
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := b.Run(platform, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	basis, err := b.Basis()
+	if err != nil {
+		return nil, nil, err
+	}
+	pipe := &core.Pipeline{Basis: basis, Config: b.Config}
+	res, err := pipe.Analyze(set)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, set, nil
+}
