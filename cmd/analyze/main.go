@@ -118,17 +118,11 @@ func main() {
 		fmt.Print(sens)
 	}
 
-	fmt.Print(core.FormatNoiseSummary(res.Noise))
-	fmt.Printf("projection: %d events representable, %d dropped (tol %.0e)\n",
-		len(res.Projection.Order), len(res.Projection.Dropped), cfg.ProjectionTol)
-	fmt.Print(core.FormatSelection(res))
-	fmt.Println()
-
 	defs, err := res.DefineMetrics(bench.Signatures)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(core.FormatMetricTable(fmt.Sprintf("metric definitions (paper Table %s):", bench.MetricTable), defs))
+	fmt.Print(core.FormatAnalysisReport(res, cfg.ProjectionTol, bench.MetricTable, defs))
 	if *rounded {
 		fmt.Println()
 		roundedDefs := make([]*core.MetricDefinition, len(defs))

@@ -1,0 +1,197 @@
+package main
+
+// End-to-end smoke test for the cmd/ binaries: builds cmd/analyze and
+// eventlensd with the real toolchain, boots the daemon on an ephemeral
+// port, and checks that the service returns the paper's Table V result —
+// byte-identical to the batch tool's report — then shuts down cleanly on
+// SIGTERM with exit status 0.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles cmd/analyze and cmd/serve into a temp dir.
+func buildBinaries(t *testing.T) (analyzeBin, serveBin string) {
+	t.Helper()
+	dir := t.TempDir()
+	analyzeBin = filepath.Join(dir, "analyze")
+	serveBin = filepath.Join(dir, "eventlensd")
+	for _, b := range []struct{ out, pkg string }{
+		{analyzeBin, "./cmd/analyze"},
+		{serveBin, "./cmd/serve"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Dir = filepath.Join("..", "..") // module root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+	return analyzeBin, serveBin
+}
+
+func TestEndToEndAnalyzeAndServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	analyzeBin, serveBin := buildBinaries(t)
+
+	// 1. Batch reference: the analyze CLI's report for cpu-flops.
+	batch, err := exec.Command(analyzeBin, "-bench", "cpu-flops").Output()
+	if err != nil {
+		t.Fatalf("analyze -bench cpu-flops: %v", err)
+	}
+	if !strings.Contains(string(batch), "metric definitions (paper Table V):") {
+		t.Fatalf("unexpected analyze output:\n%s", batch)
+	}
+
+	// 2. Boot eventlensd on an ephemeral port.
+	srv := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-workers", "2", "-shutdown-timeout", "10s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	base := waitListening(t, stdout)
+
+	// 3. Liveness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// 4. The service derives the paper's DP Ops definition...
+	resp, err = http.Post(base+"/v1/analyze", "application/json",
+		strings.NewReader(`{"benchmark":"cpu-flops"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Metrics []struct {
+			Metric string `json:"metric"`
+			Terms  []struct {
+				Event string  `json:"event"`
+				Coeff float64 `json:"coeff"`
+			} `json:"terms"`
+			Composable bool `json:"composable"`
+		} `json:"metrics"`
+		Report string `json:"report"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d", resp.StatusCode)
+	}
+	wantCoeffs := map[string]float64{
+		"FP_ARITH_INST_RETIRED:SCALAR_DOUBLE":      1,
+		"FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE": 2,
+		"FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE": 4,
+		"FP_ARITH_INST_RETIRED:512B_PACKED_DOUBLE": 8,
+	}
+	foundDP := false
+	for _, m := range body.Metrics {
+		if m.Metric != "DP Ops." {
+			continue
+		}
+		foundDP = true
+		if !m.Composable {
+			t.Fatal("DP Ops. not composable over HTTP")
+		}
+		for _, term := range m.Terms {
+			if want, ok := wantCoeffs[term.Event]; ok && math.Abs(term.Coeff-want) > 1e-8 {
+				t.Errorf("DP Ops: %s = %v, want %v", term.Event, term.Coeff, want)
+			}
+		}
+	}
+	if !foundDP {
+		t.Fatal("DP Ops. metric missing from /v1/analyze response")
+	}
+
+	// ...and its report is byte-identical to the batch tool's.
+	if !bytes.Equal([]byte(body.Report), batch) {
+		t.Fatalf("service report differs from analyze CLI output:\n--- service ---\n%s\n--- batch ---\n%s",
+			body.Report, batch)
+	}
+
+	// 5. Graceful shutdown: SIGTERM drains and exits 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("eventlensd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("eventlensd did not exit after SIGTERM")
+	}
+}
+
+// waitListening scans the daemon's stdout for the listening banner and
+// returns the base URL.
+func waitListening(t *testing.T, stdout interface{ Read([]byte) (int, error) }) string {
+	t.Helper()
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "eventlensd listening on ") {
+				lines <- strings.TrimPrefix(sc.Text(), "eventlensd listening on ")
+				return
+			}
+		}
+	}()
+	select {
+	case base := <-lines:
+		return base
+	case <-time.After(15 * time.Second):
+		t.Fatal("eventlensd never announced its address")
+		return ""
+	}
+}
+
+// TestAnalyzeCLIFlags smoke-tests the batch CLI's optional outputs so the
+// cmd/ layer keeps at least one test over its flag surface.
+func TestAnalyzeCLIFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	analyzeBin, _ := buildBinaries(t)
+	out, err := exec.Command(analyzeBin, "-bench", "branch", "-presets", "-ratios").Output()
+	if err != nil {
+		t.Fatalf("analyze -bench branch: %v", err)
+	}
+	for _, want := range []string{
+		"metric definitions (paper Table VII):",
+		"PRESET,PAPI_MISPREDICTED_BRANCHES,DERIVED_POSTFIX,",
+		"derived ratio metrics:",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command serve runs eventlensd, the HTTP/JSON daemon serving the full
+// event-analysis pipeline as an API: synchronous analysis endpoints, an
+// async job queue over a bounded worker pool, an LRU+singleflight result
+// cache, and self-observability (/healthz, Prometheus-format /metrics).
+//
+// Usage:
+//
+//	eventlensd -addr :8080 -workers 8
+//
+// Endpoints:
+//
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus text-format metrics
+//	GET    /v1/platforms             simulated platforms
+//	GET    /v1/benchmarks            CAT benchmark registry
+//	POST   /v1/analyze               run the pipeline (cached)
+//	POST   /v1/metrics/define        solve one signature against an analysis
+//	POST   /v1/events/explain        decode raw events in basis vocabulary
+//	GET    /v1/presets/{benchmark}   PAPI-style preset definitions
+//	POST   /v1/jobs                  enqueue an async analysis
+//	GET    /v1/jobs/{id}             poll job status/result
+//	DELETE /v1/jobs/{id}             cancel a queued or running job
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// and queued jobs drain within -shutdown-timeout, then it exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/perfmetrics/eventlens/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "async job worker pool size")
+	queueDepth := flag.Int("queue", 0, "async job queue depth (default 4x workers)")
+	cacheSize := flag.Int("cache-size", 64, "analysis result cache entries (LRU)")
+	jobTimeout := flag.Duration("job-timeout", time.Minute, "per-job pipeline timeout")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	srv := server.New(server.Config{
+		Addr:            *addr,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		JobTimeout:      *jobTimeout,
+		ShutdownTimeout: *shutdownTimeout,
+		MaxBodyBytes:    *maxBody,
+		Logger:          logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Announce the bound address on stdout so scripts (and the e2e smoke
+	// test) can find an ephemeral port.
+	go func() {
+		if a, err := srv.WaitAddr(ctx); err == nil {
+			fmt.Printf("eventlensd listening on http://%s\n", a)
+		}
+	}()
+
+	if err := srv.Run(ctx); err != nil {
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	}
+}

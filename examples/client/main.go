@@ -1,0 +1,113 @@
+// Client example: drive the eventlensd HTTP API end to end — discover the
+// benchmark registry, run an analysis, derive one metric definition, and
+// fetch the PAPI-style presets.
+//
+// Start the daemon first, then point the client at it:
+//
+//	go run ./cmd/serve -addr :8080 &
+//	go run ./examples/client -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("client: ")
+	addr := flag.String("addr", "http://localhost:8080", "eventlensd base URL")
+	bench := flag.String("bench", "cpu-flops", "benchmark to analyze")
+	metric := flag.String("metric", "DP Ops.", "metric to define")
+	flag.Parse()
+	base := strings.TrimSuffix(*addr, "/")
+
+	// 1. What can the service analyze?
+	var registry struct {
+		Benchmarks []struct {
+			Name     string   `json:"name"`
+			Platform string   `json:"platform"`
+			Metrics  []string `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	getJSON(base+"/v1/benchmarks", &registry)
+	fmt.Println("benchmarks served:")
+	for _, b := range registry.Benchmarks {
+		fmt.Printf("  %-10s on %-10s (%d metrics)\n", b.Name, b.Platform, len(b.Metrics))
+	}
+
+	// 2. Run the full analysis (the server caches it, so the metric
+	// definition below reuses this pipeline execution).
+	var analysis struct {
+		Platform       string   `json:"platform"`
+		SelectedEvents []string `json:"selected_events"`
+	}
+	postJSON(base+"/v1/analyze", map[string]any{"benchmark": *bench}, &analysis)
+	fmt.Printf("\n%s selected %d independent events on %s:\n", *bench, len(analysis.SelectedEvents), analysis.Platform)
+	for _, e := range analysis.SelectedEvents {
+		fmt.Println("  ", e)
+	}
+
+	// 3. Derive one metric definition over HTTP.
+	var def struct {
+		Text   string `json:"text"`
+		Preset *struct {
+			Name    string   `json:"name"`
+			Postfix string   `json:"postfix"`
+			Events  []string `json:"events"`
+		} `json:"preset"`
+	}
+	postJSON(base+"/v1/metrics/define", map[string]any{"benchmark": *bench, "metric": *metric}, &def)
+	fmt.Printf("\n%s", def.Text)
+	if def.Preset != nil {
+		fmt.Printf("as PAPI preset: %s = %s over %s\n",
+			def.Preset.Name, def.Preset.Postfix, strings.Join(def.Preset.Events, ", "))
+	}
+
+	// 4. And the full preset file, as text.
+	resp, err := http.Get(base + "/v1/presets/" + *bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	fmt.Printf("\npresets for %s:\n%s", *bench, text)
+}
+
+func getJSON(url string, dst any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(resp, dst)
+}
+
+func postJSON(url string, body, dst any) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(resp, dst)
+}
+
+func decode(resp *http.Response, dst any) {
+	if resp.StatusCode != http.StatusOK {
+		text, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s: %s\n%s", resp.Request.URL, resp.Status, text)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		log.Fatalf("%s: decoding response: %v", resp.Request.URL, err)
+	}
+}

@@ -19,19 +19,27 @@ import (
 	"github.com/perfmetrics/eventlens/internal/machine"
 )
 
-// RunConfig controls a benchmark run.
+// RunConfig controls a benchmark run. Its JSON form is canonical — every
+// field has a stable lowercase key and round-trips exactly — so it can serve
+// as an API payload and as part of a result-cache key.
 type RunConfig struct {
 	// Reps is the number of benchmark repetitions (the paper collects the
 	// measurement vector from multiple repetitions to quantify noise).
-	Reps int
+	Reps int `json:"reps"`
 	// Threads is the number of concurrent measuring threads; only the data
 	// cache benchmark uses more than one.
-	Threads int
+	Threads int `json:"threads"`
 }
 
 // DefaultRunConfig matches the paper's setup: 5 repetitions, single thread.
 func DefaultRunConfig() RunConfig {
 	return RunConfig{Reps: 5, Threads: 1}
+}
+
+// String renders the configuration in a canonical compact form suitable for
+// cache keys: equal configurations always render identically.
+func (c RunConfig) String() string {
+	return fmt.Sprintf("reps=%d,threads=%d", c.Reps, c.Threads)
 }
 
 // Validate checks the configuration.

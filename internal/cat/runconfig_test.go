@@ -1,0 +1,40 @@
+package cat
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// RunConfig's JSON form is an API payload and a cache-key component: fields
+// must round-trip exactly under canonical lowercase keys.
+func TestRunConfigJSONRoundTrip(t *testing.T) {
+	for _, cfg := range []RunConfig{DefaultRunConfig(), {Reps: 9, Threads: 4}} {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back RunConfig
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip changed config: %+v -> %s -> %+v", cfg, data, back)
+		}
+	}
+	data, err := json.Marshal(DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"reps":5,"threads":1}` {
+		t.Fatalf("non-canonical JSON: %s", data)
+	}
+}
+
+func TestRunConfigString(t *testing.T) {
+	if got, want := DefaultRunConfig().String(), "reps=5,threads=1"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if (RunConfig{Reps: 5, Threads: 1}).String() == (RunConfig{Reps: 5, Threads: 2}).String() {
+		t.Fatal("distinct configs collide")
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The Config JSON form is an API payload and a cache-key component: every
+// field must round-trip exactly and the rendered forms must be canonical
+// (equal configs render identically, distinct configs differently).
+func TestConfigJSONRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), CacheConfig(), {Tau: 1e-3, Alpha: 0.25, ProjectionTol: 0.125, RoundTol: 1e-9}} {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Config
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip changed config: %+v -> %s -> %+v", cfg, data, back)
+		}
+	}
+}
+
+func TestConfigJSONKeys(t *testing.T) {
+	data, err := json.Marshal(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tau", "alpha", "projection_tol", "round_tol"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("canonical key %q missing from %s", key, data)
+		}
+	}
+	if len(m) != 4 {
+		t.Errorf("expected exactly 4 keys, got %s", data)
+	}
+}
+
+func TestConfigStringCanonical(t *testing.T) {
+	a, b := DefaultConfig(), DefaultConfig()
+	if a.String() != b.String() {
+		t.Fatalf("equal configs render differently: %q vs %q", a, b)
+	}
+	if DefaultConfig().String() == CacheConfig().String() {
+		t.Fatal("distinct configs collide")
+	}
+	want := "tau=1e-10,alpha=0.0005,ptol=0.01,rtol=0.05"
+	if got := DefaultConfig().String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/perfmetrics/eventlens/internal/mat"
@@ -8,20 +9,30 @@ import (
 
 // Config holds the analysis thresholds. The defaults mirror the values the
 // paper uses for the low-noise benchmarks; cache analyses override Tau and
-// Alpha (Sections IV and V-E).
+// Alpha (Sections IV and V-E). Its JSON form is canonical — every field has
+// a stable lowercase key and round-trips exactly — so it can serve as an API
+// payload and as part of a result-cache key.
 type Config struct {
 	// Tau is the max-RNMSE noise threshold (Section IV). Events above it
 	// are filtered out.
-	Tau float64
+	Tau float64 `json:"tau"`
 	// Alpha is the QRCP rounding/noise tolerance (Section V).
-	Alpha float64
+	Alpha float64 `json:"alpha"`
 	// ProjectionTol is the maximum relative least-squares residual for an
 	// event to count as representable in the expectation basis
 	// (Section III-B).
-	ProjectionTol float64
+	ProjectionTol float64 `json:"projection_tol"`
 	// RoundTol is the coefficient-rounding tolerance for reported metric
 	// definitions (Section VI-D).
-	RoundTol float64
+	RoundTol float64 `json:"round_tol"`
+}
+
+// String renders the thresholds in a canonical compact form suitable for
+// cache keys: %g is shortest-exact for float64, so equal configurations
+// always render identically and distinct ones never collide.
+func (c Config) String() string {
+	return fmt.Sprintf("tau=%g,alpha=%g,ptol=%g,rtol=%g",
+		c.Tau, c.Alpha, c.ProjectionTol, c.RoundTol)
 }
 
 // DefaultConfig returns the paper's thresholds for low-noise (FLOPs,
@@ -61,15 +72,32 @@ type Result struct {
 // Analyze runs noise filtering, projection and the specialized QRCP on a
 // measurement set.
 func (p *Pipeline) Analyze(set *MeasurementSet) (*Result, error) {
+	return p.AnalyzeContext(context.Background(), set)
+}
+
+// AnalyzeContext is Analyze with cancellation: the context is checked
+// between the pipeline stages, so a caller (a server handler, a job worker)
+// can abandon an analysis whose deadline passed without waiting for the
+// remaining stages.
+func (p *Pipeline) AnalyzeContext(ctx context.Context, set *MeasurementSet) (*Result, error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
 	if err := p.Basis.CheckFullRank(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	noise := FilterNoise(set, p.Config.Tau)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	proj, err := BuildX(p.Basis, noise.Kept, noise.KeptOrder, p.Config.ProjectionTol)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if len(proj.Order) == 0 {

@@ -60,6 +60,22 @@ func FormatNoiseSummary(r *NoiseReport) string {
 	return b.String()
 }
 
+// FormatAnalysisReport renders the standard end-to-end report for one
+// analysis: the noise summary, the projection line, the selection and the
+// metric-definition table. cmd/analyze prints this to stdout and the
+// eventlensd server returns it in /v1/analyze responses, so the two surfaces
+// stay byte-identical by construction.
+func FormatAnalysisReport(r *Result, projectionTol float64, metricTable string, defs []*MetricDefinition) string {
+	var b strings.Builder
+	b.WriteString(FormatNoiseSummary(r.Noise))
+	fmt.Fprintf(&b, "projection: %d events representable, %d dropped (tol %.0e)\n",
+		len(r.Projection.Order), len(r.Projection.Dropped), projectionTol)
+	b.WriteString(FormatSelection(r))
+	b.WriteString("\n")
+	b.WriteString(FormatMetricTable(fmt.Sprintf("metric definitions (paper Table %s):", metricTable), defs))
+	return b.String()
+}
+
 // trimFloat formats a coefficient compactly (integers without decimals).
 func trimFloat(c float64) string {
 	if c == float64(int64(c)) {

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge after Set = %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecSeriesSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("requests_total", "requests", "route", "code")
+	v.With("/v1/analyze", "200").Add(3)
+	v.With("/healthz", "200").Inc()
+	v.With("/v1/analyze", "400").Inc()
+	// Same labels must yield the same counter.
+	if v.With("/v1/analyze", "200").Value() != 3 {
+		t.Fatal("labelled counter not shared")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantOrder := []string{
+		`requests_total{route="/healthz",code="200"} 1`,
+		`requests_total{route="/v1/analyze",code="200"} 3`,
+		`requests_total{route="/v1/analyze",code="400"} 1`,
+	}
+	last := -1
+	for _, line := range wantOrder {
+		idx := strings.Index(out, line)
+		if idx < 0 {
+			t.Fatalf("output missing %q:\n%s", line, out)
+		}
+		if idx < last {
+			t.Fatalf("series out of order:\n%s", out)
+		}
+		last = idx
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "first")
+	r.Counter("x", "second")
+}
+
+// TestConcurrentUse exercises every metric type from many goroutines; run
+// with -race this is the package's thread-safety proof.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", DefLatencyBuckets())
+	v := r.CounterVec("v_total", "v", "route")
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(i%7) * 0.01)
+				v.With("/r").Inc()
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if v.With("/r").Value() != workers*iters {
+		t.Fatalf("vec counter = %d", v.With("/r").Value())
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+// Service-layer latency baselines for future perf PRs: the cached path
+// measures HTTP + JSON + cache lookup overhead; the uncached path adds a
+// full pipeline execution per request (each iteration uses a distinct tau
+// so every request misses).
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchServer(b *testing.B, cacheSize int) http.Handler {
+	b.Helper()
+	return New(Config{
+		CacheSize: cacheSize,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}).Handler()
+}
+
+func benchPost(b *testing.B, h http.Handler, body string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/analyze", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+}
+
+func BenchmarkAnalyzeCached(b *testing.B) {
+	h := benchServer(b, 64)
+	benchPost(b, h, `{"benchmark":"cpu-flops"}`) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, h, `{"benchmark":"cpu-flops"}`)
+	}
+}
+
+func BenchmarkAnalyzeUncached(b *testing.B) {
+	// Unbounded cache so eviction cost is not measured; every iteration
+	// varies tau (numerically irrelevant for this benchmark's noise floor)
+	// to force a distinct cache key and hence a full pipeline run.
+	h := benchServer(b, 1<<30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(
+			`{"benchmark":"cpu-flops","config":{"tau":%g,"alpha":5e-4,"projection_tol":0.01,"round_tol":0.05}}`,
+			1e-10+float64(i)*1e-18)
+		benchPost(b, h, body)
+	}
+}

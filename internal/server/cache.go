@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"github.com/perfmetrics/eventlens/internal/obs"
+)
+
+// resultCache is an LRU cache with singleflight semantics over analysis
+// results. The pipeline is deterministic — the same (benchmark, RunConfig,
+// Config) triple always produces the same result — so cache hits are exact
+// and concurrent identical requests can safely share one pipeline execution.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*flightCall
+
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+type cacheEntry struct {
+	key string
+	val *analysis
+}
+
+// flightCall is one in-progress pipeline execution that concurrent
+// identical requests wait on.
+type flightCall struct {
+	done chan struct{}
+	val  *analysis
+	err  error
+}
+
+func newResultCache(max int, hits, misses *obs.Counter) *resultCache {
+	return &resultCache{
+		max:     max,
+		ll:      list.New(),
+		items:   map[string]*list.Element{},
+		flights: map[string]*flightCall{},
+		hits:    hits,
+		misses:  misses,
+	}
+}
+
+// do returns the cached analysis for key, or runs fn once to produce it.
+// Concurrent calls with the same key wait for the first caller's fn (their
+// own context still applies while waiting). Joining an in-flight execution
+// counts as a hit — the pipeline ran once for many requests. Errors are not
+// cached; the next request retries.
+func (c *resultCache) do(ctx context.Context, key string, fn func() (*analysis, error)) (*analysis, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Inc()
+		return val, true, nil
+	}
+	if call, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			if call.err != nil {
+				return nil, false, call.err
+			}
+			c.hits.Inc()
+			return call.val, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flights[key] = call
+	c.mu.Unlock()
+
+	c.misses.Inc()
+	call.val, call.err = fn()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if call.err == nil {
+		c.insert(key, call.val)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.val, false, call.err
+}
+
+// insert adds a value and evicts from the LRU tail past capacity. Caller
+// holds c.mu.
+func (c *resultCache) insert(key string, val *analysis) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,587 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/suite"
+)
+
+// composableThreshold is the backward-error bound under which a metric
+// counts as composable — the value cmd/analyze uses for preset emission.
+const composableThreshold = 1e-6
+
+// httpError carries an HTTP status through handler plumbing.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e httpError) Error() string { return e.msg }
+
+// errStatus maps an error to an HTTP status code.
+func errStatus(err error) int {
+	var he httpError
+	if errors.As(err, &he) {
+		return he.code
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// errorEnvelope is the JSON error shape every failure returns.
+type errorEnvelope struct {
+	Error struct {
+		Code    int    `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	var env errorEnvelope
+	env.Error.Code = code
+	env.Error.Message = msg
+	writeJSON(w, code, env)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeError(w, errStatus(err), err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// decodeJSON strictly decodes a single JSON object from the request body.
+// Unknown fields, trailing garbage and oversized bodies are client errors.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return httpError{http.StatusBadRequest, "malformed JSON: " + err.Error()}
+	}
+	if dec.More() {
+		return httpError{http.StatusBadRequest, "request body must hold a single JSON object"}
+	}
+	return nil
+}
+
+// ---- Analysis DTOs ----------------------------------------------------
+
+// analyzeRequest selects a benchmark and optionally overrides its default
+// collection and analysis configuration.
+type analyzeRequest struct {
+	Benchmark string         `json:"benchmark"`
+	Run       *cat.RunConfig `json:"run,omitempty"`
+	Config    *core.Config   `json:"config,omitempty"`
+}
+
+type termJSON struct {
+	Event string  `json:"event"`
+	Coeff float64 `json:"coeff"`
+}
+
+type metricJSON struct {
+	Metric        string     `json:"metric"`
+	Terms         []termJSON `json:"terms"`
+	BackwardError float64    `json:"backward_error"`
+	Residual      float64    `json:"residual"`
+	Composable    bool       `json:"composable"`
+}
+
+func toMetricJSON(d *core.MetricDefinition) metricJSON {
+	m := metricJSON{
+		Metric:        d.Metric,
+		BackwardError: d.BackwardError,
+		Residual:      d.Residual,
+		Composable:    d.Composable(composableThreshold),
+	}
+	for _, t := range d.Terms {
+		m.Terms = append(m.Terms, termJSON{Event: t.Event, Coeff: t.Coeff})
+	}
+	return m
+}
+
+type noiseJSON struct {
+	Measured  int     `json:"measured"`
+	Discarded int     `json:"discarded"`
+	Filtered  int     `json:"filtered"`
+	Kept      int     `json:"kept"`
+	Tau       float64 `json:"tau"`
+}
+
+type projectionJSON struct {
+	Representable int      `json:"representable"`
+	Dropped       []string `json:"dropped"`
+}
+
+type analyzeResponse struct {
+	Benchmark      string         `json:"benchmark"`
+	Platform       string         `json:"platform"`
+	Run            cat.RunConfig  `json:"run"`
+	Config         core.Config    `json:"config"`
+	Noise          noiseJSON      `json:"noise"`
+	Projection     projectionJSON `json:"projection"`
+	SelectedEvents []string       `json:"selected_events"`
+	Metrics        []metricJSON   `json:"metrics"`
+	// Report is the batch-tool text report; byte-identical to what
+	// `analyze -bench <name>` prints for the same configuration.
+	Report string `json:"report"`
+}
+
+// analysis is the cached product of one pipeline execution.
+type analysis struct {
+	bench  suite.Benchmark
+	run    cat.RunConfig
+	cfg    core.Config
+	res    *core.Result
+	set    *core.MeasurementSet
+	defs   []*core.MetricDefinition
+	report string
+}
+
+func (a *analysis) response() *analyzeResponse {
+	resp := &analyzeResponse{
+		Benchmark: a.bench.Name,
+		Platform:  a.set.Platform,
+		Run:       a.run,
+		Config:    a.cfg,
+		Noise: noiseJSON{
+			Measured:  len(a.res.Noise.Variabilities) + len(a.res.Noise.Discarded),
+			Discarded: len(a.res.Noise.Discarded),
+			Filtered:  len(a.res.Noise.Filtered),
+			Kept:      len(a.res.Noise.KeptOrder),
+			Tau:       a.res.Noise.Tau,
+		},
+		Projection: projectionJSON{
+			Representable: len(a.res.Projection.Order),
+			Dropped:       append([]string{}, a.res.Projection.Dropped...),
+		},
+		SelectedEvents: append([]string{}, a.res.SelectedEvents...),
+		Report:         a.report,
+	}
+	for _, d := range a.defs {
+		resp.Metrics = append(resp.Metrics, toMetricJSON(d))
+	}
+	return resp
+}
+
+// resolve validates an analyzeRequest against the benchmark registry and
+// fills defaults.
+func (s *Server) resolve(req analyzeRequest) (suite.Benchmark, cat.RunConfig, core.Config, error) {
+	if req.Benchmark == "" {
+		return suite.Benchmark{}, cat.RunConfig{}, core.Config{},
+			httpError{http.StatusBadRequest, "missing required field \"benchmark\""}
+	}
+	bench, err := suite.ByName(req.Benchmark)
+	if err != nil {
+		return suite.Benchmark{}, cat.RunConfig{}, core.Config{},
+			httpError{http.StatusNotFound, err.Error()}
+	}
+	run := bench.DefaultRun
+	if req.Run != nil {
+		run = *req.Run
+	}
+	if err := run.Validate(); err != nil {
+		return suite.Benchmark{}, cat.RunConfig{}, core.Config{},
+			httpError{http.StatusBadRequest, err.Error()}
+	}
+	cfg := bench.Config
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	if cfg.Tau < 0 || cfg.Alpha <= 0 || cfg.ProjectionTol <= 0 {
+		return suite.Benchmark{}, cat.RunConfig{}, core.Config{},
+			httpError{http.StatusBadRequest, "config: tau must be >= 0, alpha and projection_tol must be > 0"}
+	}
+	return bench, run, cfg, nil
+}
+
+// doAnalyze runs (or fetches from cache) the full analysis for a request.
+func (s *Server) doAnalyze(ctx context.Context, req analyzeRequest) (*analyzeResponse, bool, error) {
+	a, hit, err := s.analysisFor(ctx, req)
+	if err != nil {
+		return nil, false, err
+	}
+	return a.response(), hit, nil
+}
+
+// analysisFor returns the cached analysis for a request, running the
+// pipeline on a miss. The cache key is the canonical rendering of
+// (benchmark, RunConfig, Config); the pipeline is deterministic, so equal
+// keys mean equal results.
+func (s *Server) analysisFor(ctx context.Context, req analyzeRequest) (*analysis, bool, error) {
+	bench, run, cfg, err := s.resolve(req)
+	if err != nil {
+		return nil, false, err
+	}
+	key := fmt.Sprintf("%s|%s|%s", bench.Name, run, cfg)
+	return s.cache.do(ctx, key, func() (*analysis, error) {
+		start := time.Now()
+		res, set, err := bench.AnalyzeContext(ctx, run, cfg)
+		if err != nil {
+			return nil, err
+		}
+		defs, err := res.DefineMetrics(bench.Signatures)
+		if err != nil {
+			return nil, err
+		}
+		s.pipelineRuns.Inc()
+		s.pipelineSeconds.Observe(time.Since(start).Seconds())
+		return &analysis{
+			bench:  bench,
+			run:    run,
+			cfg:    cfg,
+			res:    res,
+			set:    set,
+			defs:   defs,
+			report: core.FormatAnalysisReport(res, cfg.ProjectionTol, bench.MetricTable, defs),
+		}, nil
+	})
+}
+
+// ---- Handlers ---------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, hit, err := s.doAnalyze(r.Context(), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("X-Eventlens-Cache", cacheHeader(hit))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// defineRequest solves one signature — either a named one from the
+// benchmark's table or a custom coefficient vector — against the cached
+// analysis.
+type defineRequest struct {
+	Benchmark string         `json:"benchmark"`
+	Run       *cat.RunConfig `json:"run,omitempty"`
+	Config    *core.Config   `json:"config,omitempty"`
+	Metric    string         `json:"metric,omitempty"`
+	Signature *signatureJSON `json:"signature,omitempty"`
+}
+
+type signatureJSON struct {
+	Name   string    `json:"name"`
+	Coeffs []float64 `json:"coeffs"`
+}
+
+type presetJSON struct {
+	Name          string   `json:"name"`
+	Events        []string `json:"events"`
+	Postfix       string   `json:"postfix"`
+	BackwardError float64  `json:"backward_error"`
+}
+
+type defineResponse struct {
+	Benchmark string      `json:"benchmark"`
+	Platform  string      `json:"platform"`
+	Metric    metricJSON  `json:"metric"`
+	Rounded   metricJSON  `json:"rounded"`
+	Preset    *presetJSON `json:"preset,omitempty"`
+	Text      string      `json:"text"`
+}
+
+func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
+	var req defineRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if (req.Metric == "") == (req.Signature == nil) {
+		writeError(w, http.StatusBadRequest, "exactly one of \"metric\" (a name from the benchmark's table) or \"signature\" must be set")
+		return
+	}
+	a, _, err := s.analysisFor(r.Context(), analyzeRequest{Benchmark: req.Benchmark, Run: req.Run, Config: req.Config})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var sig core.Signature
+	if req.Signature != nil {
+		sig = core.Signature{Name: req.Signature.Name, Coeffs: req.Signature.Coeffs}
+		if sig.Name == "" {
+			writeError(w, http.StatusBadRequest, "signature.name must be set")
+			return
+		}
+	} else {
+		found := false
+		for _, candidate := range a.bench.Signatures {
+			if candidate.Name == req.Metric {
+				sig, found = candidate, true
+				break
+			}
+		}
+		if !found {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("benchmark %q has no metric %q (have %s)", a.bench.Name, req.Metric, signatureNames(a.bench)))
+			return
+		}
+	}
+	def, err := a.res.DefineMetric(sig)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := defineResponse{
+		Benchmark: a.bench.Name,
+		Platform:  a.set.Platform,
+		Metric:    toMetricJSON(def),
+		Rounded:   toMetricJSON(def.Rounded(a.cfg.RoundTol)),
+		Text:      def.String(),
+	}
+	if p, err := def.ToPreset(a.cfg.RoundTol); err == nil && def.Composable(composableThreshold) {
+		resp.Preset = &presetJSON{
+			Name:          p.Name,
+			Events:        p.Events,
+			Postfix:       p.Postfix,
+			BackwardError: p.BackwardError,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func signatureNames(b suite.Benchmark) string {
+	names := ""
+	for i, sig := range b.Signatures {
+		if i > 0 {
+			names += ", "
+		}
+		names += fmt.Sprintf("%q", sig.Name)
+	}
+	return names
+}
+
+// explainRequest decodes raw events into basis vocabulary.
+type explainRequest struct {
+	Benchmark string         `json:"benchmark"`
+	Run       *cat.RunConfig `json:"run,omitempty"`
+	Config    *core.Config   `json:"config,omitempty"`
+	// Event is a kept raw-event name, or "all" (the default) for every
+	// kept event.
+	Event string `json:"event,omitempty"`
+}
+
+type explanationJSON struct {
+	Event       string     `json:"event"`
+	Terms       []termJSON `json:"terms"`
+	RelResidual float64    `json:"rel_residual"`
+	Verdict     string     `json:"verdict"`
+	Text        string     `json:"text"`
+}
+
+type explainResponse struct {
+	Benchmark    string            `json:"benchmark"`
+	Basis        []string          `json:"basis"`
+	Explanations []explanationJSON `json:"explanations"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	a, _, err := s.analysisFor(r.Context(), analyzeRequest{Benchmark: req.Benchmark, Run: req.Run, Config: req.Config})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	basis, err := a.bench.Basis()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	names := a.res.Noise.KeptOrder
+	if req.Event != "" && req.Event != "all" {
+		if _, ok := a.res.Noise.Kept[req.Event]; !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("event %q not among the kept events (noisy, all-zero, or unknown)", req.Event))
+			return
+		}
+		names = []string{req.Event}
+	}
+	resp := explainResponse{Benchmark: a.bench.Name, Basis: basis.Names}
+	for _, name := range names {
+		e, err := core.ExplainEvent(basis, name, a.res.Noise.Kept[name], a.cfg.Alpha, a.cfg.ProjectionTol)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		ej := explanationJSON{
+			Event:       e.Event,
+			RelResidual: e.RelResidual,
+			Verdict:     e.Verdict,
+			Text:        e.String(),
+		}
+		for _, t := range e.Terms {
+			ej.Terms = append(ej.Terms, termJSON{Event: t.Event, Coeff: t.Coeff})
+		}
+		resp.Explanations = append(resp.Explanations, ej)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("benchmark")
+	a, _, err := s.analysisFor(r.Context(), analyzeRequest{Benchmark: name})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "# auto-generated presets for %s (%s benchmark)\n", a.set.Platform, a.bench.Name)
+	fmt.Fprint(w, core.FormatPresets(a.defs, a.cfg.RoundTol, composableThreshold))
+}
+
+type platformJSON struct {
+	Name        string `json:"name"`
+	Events      int    `json:"events"`
+	Counters    int    `json:"counters"`
+	Constrained bool   `json:"constrained"`
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	var out []platformJSON
+	for _, mk := range []func() (*machine.Platform, error){
+		machine.SapphireRapids, machine.MI250X, machine.Zen4,
+	} {
+		p, err := mk()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out = append(out, platformJSON{
+			Name:        p.Name,
+			Events:      p.Catalog.Len(),
+			Counters:    p.Counters,
+			Constrained: len(p.Constraints) > 0,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"platforms": out})
+}
+
+type benchmarkJSON struct {
+	Name           string        `json:"name"`
+	Description    string        `json:"description"`
+	Platform       string        `json:"platform"`
+	SignatureTable string        `json:"signature_table"`
+	MetricTable    string        `json:"metric_table"`
+	Figure         string        `json:"figure"`
+	DefaultRun     cat.RunConfig `json:"default_run"`
+	Config         core.Config   `json:"config"`
+	Metrics        []string      `json:"metrics"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	var out []benchmarkJSON
+	for _, b := range suite.All() {
+		p, err := b.NewPlatform()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		bj := benchmarkJSON{
+			Name:           b.Name,
+			Description:    b.Description,
+			Platform:       p.Name,
+			SignatureTable: b.SignatureTable,
+			MetricTable:    b.MetricTable,
+			Figure:         b.Figure,
+			DefaultRun:     b.DefaultRun,
+			Config:         b.Config,
+		}
+		for _, sig := range b.Signatures {
+			bj.Metrics = append(bj.Metrics, sig.Name)
+		}
+		out = append(out, bj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": out})
+}
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Fail fast on requests that could never run.
+	if _, _, _, err := s.resolve(req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, err := s.jobs.enqueue(req)
+	if errors.Is(err, errQueueFull) {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok, err := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}

@@ -1,0 +1,264 @@
+// Package server implements eventlensd, the HTTP/JSON daemon that serves
+// the paper's analysis pipeline on demand: synchronous analysis endpoints,
+// an async job layer over a bounded worker pool, an LRU+singleflight result
+// cache (the pipeline is deterministic, so hits are exact), and
+// self-observability via /healthz and Prometheus-format /metrics.
+//
+// The daemon is stdlib-only. See cmd/serve for the binary.
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/perfmetrics/eventlens/internal/obs"
+)
+
+// Config holds the daemon configuration.
+type Config struct {
+	// Addr is the listen address, e.g. ":8080" or "127.0.0.1:0".
+	Addr string
+	// Workers is the async job pool size. Defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the async job queue; a full queue rejects new jobs
+	// with 503. Defaults to 4x Workers.
+	QueueDepth int
+	// CacheSize bounds the LRU result cache (entries). Defaults to 64.
+	CacheSize int
+	// JobTimeout bounds each async job's pipeline run. Defaults to 1m.
+	JobTimeout time.Duration
+	// ShutdownTimeout bounds connection draining and job draining on
+	// shutdown. Defaults to 10s.
+	ShutdownTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Defaults to 1 MiB.
+	MaxBodyBytes int64
+	// Logger receives structured request and lifecycle logs. Defaults to
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = time.Minute
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the eventlensd daemon.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	cache *resultCache
+	jobs  *jobManager
+
+	reg             *obs.Registry
+	requestsTotal   *obs.CounterVec
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	pipelineRuns    *obs.Counter
+	pipelineSeconds *obs.Histogram
+	httpSeconds     *obs.Histogram
+	jobsInflight    *obs.Gauge
+	queueDepth      *obs.Gauge
+	jobsTotal       *obs.CounterVec
+
+	addrMu    sync.Mutex
+	boundAddr net.Addr
+	ready     chan struct{} // closed once Run is listening
+}
+
+// New constructs a Server from cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		reg:   reg,
+		ready: make(chan struct{}),
+	}
+	s.requestsTotal = reg.CounterVec("eventlensd_requests_total",
+		"HTTP requests served, by route pattern and status code.", "route", "code")
+	s.cacheHits = reg.Counter("eventlensd_cache_hits_total",
+		"Analysis cache hits (including requests that joined an in-flight identical run).")
+	s.cacheMisses = reg.Counter("eventlensd_cache_misses_total",
+		"Analysis cache misses (each miss runs the pipeline once).")
+	s.pipelineRuns = reg.Counter("eventlensd_pipeline_runs_total",
+		"Full pipeline executions (collection + noise filter + projection + QRCP + metrics).")
+	s.pipelineSeconds = reg.Histogram("eventlensd_pipeline_seconds",
+		"Latency of full pipeline executions.", obs.DefLatencyBuckets())
+	s.httpSeconds = reg.Histogram("eventlensd_http_request_seconds",
+		"HTTP request latency.", obs.DefLatencyBuckets())
+	s.jobsInflight = reg.Gauge("eventlensd_jobs_inflight",
+		"Async jobs currently executing.")
+	s.queueDepth = reg.Gauge("eventlensd_jobs_queue_depth",
+		"Async jobs waiting in the queue.")
+	s.jobsTotal = reg.CounterVec("eventlensd_jobs_total",
+		"Async jobs finished, by terminal status.", "status")
+	s.cache = newResultCache(cfg.CacheSize, s.cacheHits, s.cacheMisses)
+	s.jobs = newJobManager(cfg.QueueDepth, cfg.JobTimeout, s.jobsInflight, s.queueDepth, s.jobsTotal)
+	return s
+}
+
+// Handler returns the daemon's routed and instrumented HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/metrics/define", s.handleDefine)
+	mux.HandleFunc("POST /v1/events/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/presets/{benchmark}", s.handlePresets)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with request logging, body limits and metrics.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		route := routePattern(r)
+		s.requestsTotal.With(route, strconv.Itoa(rec.status)).Inc()
+		s.httpSeconds.Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", rec.status,
+			"duration", elapsed,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// routePattern returns the matched mux pattern without the method prefix,
+// so metrics aggregate by route ("/v1/jobs/{id}") rather than by raw path.
+func routePattern(r *http.Request) string {
+	p := r.Pattern
+	if p == "" {
+		return "unmatched"
+	}
+	if i := len(r.Method) + 1; len(p) > i && p[:i] == r.Method+" " {
+		p = p[i:]
+	}
+	return p
+}
+
+// statusRecorder captures the response status for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// WaitAddr blocks until Run is listening and returns the bound address, or
+// returns ctx's error. It lets callers of Run (started in a goroutine, or
+// with Addr ":0") learn the actual port.
+func (s *Server) WaitAddr(ctx context.Context) (net.Addr, error) {
+	select {
+	case <-s.ready:
+		s.addrMu.Lock()
+		defer s.addrMu.Unlock()
+		return s.boundAddr, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// startJobWorkers launches the async worker pool; Run calls this, and
+// handler tests call it directly when exercising the mux without a listener.
+func (s *Server) startJobWorkers(ctx context.Context) {
+	s.jobs.start(ctx, s.cfg.Workers, func(ctx context.Context, j *job) {
+		resp, _, err := s.doAnalyze(ctx, j.req)
+		j.finish(resp, err)
+	})
+}
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then shuts
+// down gracefully: HTTP connections drain and queued/running jobs finish,
+// both within cfg.ShutdownTimeout; past the deadline running pipelines are
+// hard-cancelled. Run returns nil on a clean (even if forced) shutdown.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.addrMu.Lock()
+	s.boundAddr = ln.Addr()
+	s.addrMu.Unlock()
+	close(s.ready)
+	s.log.Info("listening", "addr", ln.Addr().String())
+
+	// jobCtx outlives ctx so jobs can drain after the stop signal; it is
+	// cancelled only when the drain deadline passes.
+	jobCtx, cancelJobs := context.WithCancel(context.Background())
+	defer cancelJobs()
+	s.startJobWorkers(jobCtx)
+
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		cancelJobs()
+		return err
+	case <-ctx.Done():
+	}
+
+	s.log.Info("shutting down", "timeout", s.cfg.ShutdownTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	if drained := s.jobs.drain(shutdownCtx); !drained {
+		s.log.Warn("job drain deadline exceeded; cancelling running jobs")
+		cancelJobs()
+		s.jobs.drain(context.Background())
+	}
+	if shutdownErr != nil {
+		s.log.Warn("connection drain incomplete", "err", shutdownErr)
+	}
+	s.log.Info("shutdown complete")
+	return nil
+}

@@ -1,0 +1,460 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer returns a Server with a quiet logger and small limits
+// suitable for handler tests.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return New(cfg)
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+// decodeEnvelope asserts a JSON error envelope with the given status.
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder, wantCode int) string {
+	t.Helper()
+	if w.Code != wantCode {
+		t.Fatalf("status = %d, want %d; body: %s", w.Code, wantCode, w.Body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("error body is not a JSON envelope: %v\n%s", err, w.Body)
+	}
+	if env.Error.Code != wantCode || env.Error.Message == "" {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	return env.Error.Message
+}
+
+func TestHealthz(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	w := get(t, h, "/healthz")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body)
+	}
+}
+
+func TestAnalyzeUnknownBenchmark(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	msg := decodeEnvelope(t, postJSON(t, h, "/v1/analyze", `{"benchmark":"nope"}`), http.StatusNotFound)
+	if !strings.Contains(msg, "unknown benchmark") {
+		t.Fatalf("message = %q", msg)
+	}
+}
+
+func TestAnalyzeMalformedJSON(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	decodeEnvelope(t, postJSON(t, h, "/v1/analyze", `{"benchmark":`), http.StatusBadRequest)
+	decodeEnvelope(t, postJSON(t, h, "/v1/analyze", ``), http.StatusBadRequest)
+	decodeEnvelope(t, postJSON(t, h, "/v1/analyze", `{"benchmark":"cpu-flops"} trailing`), http.StatusBadRequest)
+	// Unknown fields are rejected: the API surface is canonical.
+	decodeEnvelope(t, postJSON(t, h, "/v1/analyze", `{"benchmark":"cpu-flops","bogus":1}`), http.StatusBadRequest)
+	// Invalid run/config values are 400s, not pipeline failures.
+	decodeEnvelope(t, postJSON(t, h, "/v1/analyze", `{"benchmark":"cpu-flops","run":{"reps":0,"threads":1}}`), http.StatusBadRequest)
+	decodeEnvelope(t, postJSON(t, h, "/v1/analyze", `{"benchmark":"cpu-flops","config":{"tau":1e-10,"alpha":0,"projection_tol":0.01,"round_tol":0.05}}`), http.StatusBadRequest)
+	decodeEnvelope(t, postJSON(t, h, "/v1/analyze", `{}`), http.StatusBadRequest)
+}
+
+func TestAnalyzeOversizedBody(t *testing.T) {
+	h := newTestServer(t, Config{MaxBodyBytes: 128}).Handler()
+	big := fmt.Sprintf(`{"benchmark":"cpu-flops","run":{"reps":5,"threads":1},"config":null%s}`, strings.Repeat(" ", 200))
+	decodeEnvelope(t, postJSON(t, h, "/v1/analyze", big), http.StatusRequestEntityTooLarge)
+}
+
+func TestAnalyzeCPUFlops(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	w := postJSON(t, h, "/v1/analyze", `{"benchmark":"cpu-flops"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Eventlens-Cache"); got != "miss" {
+		t.Fatalf("first request cache header = %q", got)
+	}
+	var resp analyzeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Platform != "spr-sim" || len(resp.SelectedEvents) != 8 {
+		t.Fatalf("platform %q, %d selected events", resp.Platform, len(resp.SelectedEvents))
+	}
+	var dp *metricJSON
+	for i := range resp.Metrics {
+		if resp.Metrics[i].Metric == "DP Ops." {
+			dp = &resp.Metrics[i]
+		}
+	}
+	if dp == nil || !dp.Composable {
+		t.Fatalf("DP Ops. should be composable: %+v", resp.Metrics)
+	}
+	if !strings.Contains(resp.Report, "metric definitions (paper Table V):") {
+		t.Fatalf("report missing metric table:\n%s", resp.Report)
+	}
+
+	// Second identical request is a cache hit with an identical body.
+	w2 := postJSON(t, h, "/v1/analyze", `{"benchmark":"cpu-flops"}`)
+	if got := w2.Header().Get("X-Eventlens-Cache"); got != "hit" {
+		t.Fatalf("second request cache header = %q", got)
+	}
+	if !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
+		t.Fatal("cached response differs from computed response")
+	}
+}
+
+// TestSingleflightCollapsesConcurrentAnalyzes is the acceptance check for
+// the cache: N parallel identical requests must produce exactly one
+// pipeline execution, the rest sharing its result.
+func TestSingleflightCollapsesConcurrentAnalyzes(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+				strings.NewReader(`{"benchmark":"cpu-flops"}`))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	if runs := s.pipelineRuns.Value(); runs != 1 {
+		t.Fatalf("pipeline ran %d times for %d identical requests", runs, n)
+	}
+	if misses := s.cacheMisses.Value(); misses != 1 {
+		t.Fatalf("cache misses = %d", misses)
+	}
+	if hits := s.cacheHits.Value(); hits != n-1 {
+		t.Fatalf("cache hits = %d, want %d", hits, n-1)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 2})
+	h := s.Handler()
+	for _, tau := range []string{"1e-10", "2e-10", "3e-10"} {
+		body := fmt.Sprintf(`{"benchmark":"cpu-flops","config":{"tau":%s,"alpha":5e-4,"projection_tol":0.01,"round_tol":0.05}}`, tau)
+		if w := postJSON(t, h, "/v1/analyze", body); w.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", w.Code, w.Body)
+		}
+	}
+	if got := s.cache.len(); got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	postJSON(t, h, "/v1/analyze", `{"benchmark":"cpu-flops"}`)
+	postJSON(t, h, "/v1/analyze", `{"benchmark":"cpu-flops"}`)
+	postJSON(t, h, "/v1/analyze", `{"benchmark":"nope"}`)
+	w := get(t, h, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", w.Code)
+	}
+	out := w.Body.String()
+	for _, want := range []string{
+		`eventlensd_requests_total{route="/v1/analyze",code="200"} 2`,
+		`eventlensd_requests_total{route="/v1/analyze",code="404"} 1`,
+		"eventlensd_cache_hits_total 1",
+		"eventlensd_cache_misses_total 1",
+		"eventlensd_pipeline_runs_total 1",
+		"eventlensd_jobs_inflight 0",
+		"eventlensd_jobs_queue_depth 0",
+		"# TYPE eventlensd_pipeline_seconds histogram",
+		"eventlensd_pipeline_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Log(out)
+	}
+}
+
+func TestDefineMetric(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	w := postJSON(t, h, "/v1/metrics/define", `{"benchmark":"cpu-flops","metric":"DP Ops."}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp defineResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Metric.Composable || resp.Preset == nil {
+		t.Fatalf("DP Ops. should compose with a preset: %s", w.Body)
+	}
+	if resp.Preset.Name != "PAPI_DP_OPS" {
+		t.Fatalf("preset name = %q", resp.Preset.Name)
+	}
+
+	// A custom signature in basis coordinates also solves.
+	w = postJSON(t, h, "/v1/metrics/define",
+		`{"benchmark":"branch","signature":{"name":"Taken","coeffs":[0,0,1,0,0]}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("custom signature: %d %s", w.Code, w.Body)
+	}
+
+	decodeEnvelope(t, postJSON(t, h, "/v1/metrics/define", `{"benchmark":"cpu-flops","metric":"No Such Metric."}`), http.StatusNotFound)
+	decodeEnvelope(t, postJSON(t, h, "/v1/metrics/define", `{"benchmark":"cpu-flops"}`), http.StatusBadRequest)
+	decodeEnvelope(t, postJSON(t, h, "/v1/metrics/define",
+		`{"benchmark":"cpu-flops","metric":"DP Ops.","signature":{"name":"x","coeffs":[1]}}`), http.StatusBadRequest)
+	// Wrong-dimension custom signature is a client error, not a 500.
+	decodeEnvelope(t, postJSON(t, h, "/v1/metrics/define",
+		`{"benchmark":"cpu-flops","signature":{"name":"short","coeffs":[1,2]}}`), http.StatusBadRequest)
+}
+
+func TestExplainEvents(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	w := postJSON(t, h, "/v1/events/explain", `{"benchmark":"branch"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Explanations) == 0 || len(resp.Basis) != 5 {
+		t.Fatalf("explanations = %d, basis = %v", len(resp.Explanations), resp.Basis)
+	}
+	one := resp.Explanations[0].Event
+	w = postJSON(t, h, "/v1/events/explain", fmt.Sprintf(`{"benchmark":"branch","event":%q}`, one))
+	if w.Code != http.StatusOK {
+		t.Fatalf("single event: %d %s", w.Code, w.Body)
+	}
+	decodeEnvelope(t, postJSON(t, h, "/v1/events/explain", `{"benchmark":"branch","event":"NO_SUCH_EVENT"}`), http.StatusNotFound)
+}
+
+func TestPresetsEndpoint(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	w := get(t, h, "/v1/presets/cpu-flops")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	out := w.Body.String()
+	if !strings.Contains(out, "PRESET,PAPI_DP_OPS,DERIVED_POSTFIX,") {
+		t.Fatalf("presets output missing DP Ops:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "# auto-generated presets for spr-sim (cpu-flops benchmark)") {
+		t.Fatalf("presets header wrong:\n%s", out)
+	}
+	decodeEnvelope(t, get(t, h, "/v1/presets/nope"), http.StatusNotFound)
+}
+
+func TestPlatformsAndBenchmarks(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	w := get(t, h, "/v1/platforms")
+	if w.Code != http.StatusOK {
+		t.Fatalf("platforms: %d", w.Code)
+	}
+	for _, name := range []string{"spr-sim", "mi250x-sim", "zen4-sim"} {
+		if !strings.Contains(w.Body.String(), name) {
+			t.Errorf("platforms missing %q: %s", name, w.Body)
+		}
+	}
+	w = get(t, h, "/v1/benchmarks")
+	if w.Code != http.StatusOK {
+		t.Fatalf("benchmarks: %d", w.Code)
+	}
+	for _, name := range []string{"cpu-flops", "gpu-flops", "branch", "dcache", "DP Ops."} {
+		if !strings.Contains(w.Body.String(), name) {
+			t.Errorf("benchmarks missing %q", name)
+		}
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.startJobWorkers(ctx)
+	h := s.Handler()
+
+	w := postJSON(t, h, "/v1/jobs", `{"benchmark":"branch"}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("enqueue: %d %s", w.Code, w.Body)
+	}
+	var view jobView
+	if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" || (view.Status != jobQueued && view.Status != jobRunning) {
+		t.Fatalf("bad job view: %+v", view)
+	}
+	if loc := w.Header().Get("Location"); loc != "/v1/jobs/"+view.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w = get(t, h, "/v1/jobs/"+view.ID)
+		if w.Code != http.StatusOK {
+			t.Fatalf("poll: %d %s", w.Code, w.Body)
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Status == jobDone {
+			break
+		}
+		if view.Status == jobFailed || view.Status == jobCanceled {
+			t.Fatalf("job ended %s: %s", view.Status, view.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", view.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if view.Result == nil || view.Result.Benchmark != "branch" {
+		t.Fatalf("done job missing result: %+v", view)
+	}
+
+	// The async result matches the synchronous endpoint's.
+	sync := postJSON(t, h, "/v1/analyze", `{"benchmark":"branch"}`)
+	var syncResp analyzeResponse
+	if err := json.Unmarshal(sync.Body.Bytes(), &syncResp); err != nil {
+		t.Fatal(err)
+	}
+	if syncResp.Report != view.Result.Report {
+		t.Fatal("async and sync reports differ")
+	}
+
+	decodeEnvelope(t, get(t, h, "/v1/jobs/job-999"), http.StatusNotFound)
+	// Jobs referencing unknown benchmarks are rejected at enqueue time.
+	decodeEnvelope(t, postJSON(t, h, "/v1/jobs", `{"benchmark":"nope"}`), http.StatusNotFound)
+}
+
+func TestJobCancelQueuedAndQueueFull(t *testing.T) {
+	// No workers started: jobs stay queued, so cancellation and queue
+	// overflow are deterministic.
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	h := s.Handler()
+
+	w := postJSON(t, h, "/v1/jobs", `{"benchmark":"branch"}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("enqueue: %d %s", w.Code, w.Body)
+	}
+	var view jobView
+	if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue holds one job already: the next enqueue must 503.
+	decodeEnvelope(t, postJSON(t, h, "/v1/jobs", `{"benchmark":"branch"}`), http.StatusServiceUnavailable)
+
+	req := httptest.NewRequest(http.MethodDelete, "/v1/jobs/"+view.ID, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != jobCanceled {
+		t.Fatalf("status after cancel = %q", view.Status)
+	}
+
+	// Cancelling again conflicts.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/jobs/"+view.ID, nil))
+	decodeEnvelope(t, rec, http.StatusConflict)
+}
+
+// TestRunGracefulShutdown boots the real listener, verifies it serves, then
+// cancels the context and expects a clean drain.
+func TestRunGracefulShutdown(t *testing.T) {
+	s := newTestServer(t, Config{Addr: "127.0.0.1:0", ShutdownTimeout: 5 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx) }()
+
+	addr, err := s.WaitAddr(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Leave a job in flight so shutdown has something to drain.
+	jr, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{"benchmark":"cpu-flops"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+}

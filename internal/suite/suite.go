@@ -4,6 +4,7 @@
 package suite
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -133,6 +134,17 @@ func Names() []string {
 // Analyze runs the full pipeline for one benchmark and returns the analysis
 // result together with the measurement set it consumed.
 func (b Benchmark) Analyze(cfg cat.RunConfig) (*core.Result, *core.MeasurementSet, error) {
+	return b.AnalyzeContext(context.Background(), cfg, b.Config)
+}
+
+// AnalyzeContext runs the full pipeline with explicit analysis thresholds
+// and cancellation: the context is consulted between collection and each
+// analysis stage, so servers and job workers can abandon work whose deadline
+// passed. Passing b.Config as analysis reproduces Analyze.
+func (b Benchmark) AnalyzeContext(ctx context.Context, cfg cat.RunConfig, analysis core.Config) (*core.Result, *core.MeasurementSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	platform, err := b.NewPlatform()
 	if err != nil {
 		return nil, nil, err
@@ -141,12 +153,15 @@ func (b Benchmark) Analyze(cfg cat.RunConfig) (*core.Result, *core.MeasurementSe
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	basis, err := b.Basis()
 	if err != nil {
 		return nil, nil, err
 	}
-	pipe := &core.Pipeline{Basis: basis, Config: b.Config}
-	res, err := pipe.Analyze(set)
+	pipe := &core.Pipeline{Basis: basis, Config: analysis}
+	res, err := pipe.AnalyzeContext(ctx, set)
 	if err != nil {
 		return nil, nil, err
 	}
