@@ -1,0 +1,26 @@
+# Development entry points; CI runs the same targets.
+
+GO ?= go
+
+.PHONY: build test race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run the table/figure/collection/projection benchmarks once each and
+# record the result as BENCH_2.json, so the performance trajectory is
+# versioned alongside the code. -benchtime=1x keeps this cheap enough for CI;
+# run `go test -bench 'Serial|Parallel' -benchtime=2s .` for real comparisons.
+bench:
+	$(GO) test -run '^$$' -bench 'Table|Figure|Collect|BuildX|NoiseFilter' -benchtime=1x -count=1 . | tee bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_2.json < bench.out
+	@rm -f bench.out
+
+clean:
+	rm -f bench.out

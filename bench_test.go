@@ -189,6 +189,69 @@ func BenchmarkCollectGPUFlops(b *testing.B) { benchCollect(b, "gpu-flops") }
 func BenchmarkCollectBranch(b *testing.B)   { benchCollect(b, "branch") }
 func BenchmarkCollectDCache(b *testing.B)   { benchCollect(b, "dcache") }
 
+// Serial vs Parallel pairs: the same stage pinned to Workers=1 and to
+// Workers=GOMAXPROCS. Outputs are byte-identical (determinism_test.go); these
+// pairs exist to measure what the worker pool buys on each stage.
+
+func benchCollectWorkers(b *testing.B, name string, workers int) {
+	bench, err := suite.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform, err := bench.NewPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := bench.DefaultRun
+	run.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(platform, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectSerialCPUFlops(b *testing.B)   { benchCollectWorkers(b, "cpu-flops", 1) }
+func BenchmarkCollectParallelCPUFlops(b *testing.B) { benchCollectWorkers(b, "cpu-flops", 0) }
+func BenchmarkCollectSerialDCache(b *testing.B)     { benchCollectWorkers(b, "dcache", 1) }
+func BenchmarkCollectParallelDCache(b *testing.B)   { benchCollectWorkers(b, "dcache", 0) }
+
+func benchNoiseWorkers(b *testing.B, workers int) {
+	c := collect(b, "cpu-flops")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := core.FilterNoiseWithWorkers(c.set, c.bench.Config.Tau, core.MaxRNMSE, workers)
+		if len(rep.Variabilities) == 0 {
+			b.Fatal("no variabilities")
+		}
+	}
+}
+
+func BenchmarkNoiseFilterSerial(b *testing.B)   { benchNoiseWorkers(b, 1) }
+func BenchmarkNoiseFilterParallel(b *testing.B) { benchNoiseWorkers(b, 0) }
+
+func benchBuildX(b *testing.B, workers int) {
+	c := collect(b, "cpu-flops")
+	noise := c.res.Noise
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proj, err := core.BuildXWorkers(c.basis, noise.Kept, noise.KeptOrder, c.bench.Config.ProjectionTol, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(proj.Order) == 0 {
+			b.Fatal("no projections")
+		}
+	}
+}
+
+func BenchmarkBuildX(b *testing.B)       { benchBuildX(b, 0) }
+func BenchmarkBuildXSerial(b *testing.B) { benchBuildX(b, 1) }
+
 // QRCP ablation: the paper's specialized pivoting versus classical
 // largest-norm pivoting on the same projected X (the CPU-FLOPs matrix).
 // Specialized picks the 8 FP_ARITH events; classical ranks by norm and picks

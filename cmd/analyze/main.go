@@ -34,6 +34,7 @@ func main() {
 	presets := flag.Bool("presets", false, "emit PAPI-style preset definitions for the composable metrics")
 	explain := flag.String("explain", "", "explain what a raw event measures in the benchmark's basis ('all' for every kept event)")
 	ratios := flag.Bool("ratios", false, "also derive the benchmark's standard ratio metrics")
+	workersFlag := flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = serial; output is byte-identical either way)")
 	flag.Parse()
 
 	if *benchName == "" {
@@ -51,6 +52,10 @@ func main() {
 	if *alpha > 0 {
 		cfg.Alpha = *alpha
 	}
+	if *workersFlag < 0 {
+		log.Fatalf("workers must be >= 0 (0 means GOMAXPROCS), got %d", *workersFlag)
+	}
+	cfg.Workers = *workersFlag
 
 	var set *core.MeasurementSet
 	if *in != "" {
@@ -66,7 +71,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		set, err = bench.Run(platform, cat.RunConfig(bench.DefaultRun))
+		run := cat.RunConfig(bench.DefaultRun)
+		run.Workers = *workersFlag
+		set, err = bench.Run(platform, run)
 		if err != nil {
 			log.Fatal(err)
 		}

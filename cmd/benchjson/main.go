@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a stable JSON
+// document, so CI can record the performance trajectory (BENCH_<n>.json per
+// PR) without depending on external benchmark-parsing tooling.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x . | go run ./cmd/benchjson -out BENCH_2.json
+//
+// Lines that are not benchmark results (goos/goarch/cpu headers, PASS/ok
+// trailers) feed the environment header or are ignored; malformed benchmark
+// lines are an error so a silently truncated run cannot masquerade as data.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix preserved,
+	// e.g. "BenchmarkCollectDCache-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when the benchmark called
+	// ReportAllocs (negative means unreported).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parse scans go-test benchmark output, collecting header fields and results.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   10   110 ns/op   64 B/op   2 allocs/op
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("ns/op in %q: %w", line, err)
+	}
+	res := Result{Name: fields[0], Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue // custom float metrics (b.ReportMetric) pass through unrecorded
+		}
+		switch fields[i+1] {
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return res, nil
+}

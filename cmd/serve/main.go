@@ -42,6 +42,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "async job worker pool size")
+	pipelineWorkers := flag.Int("pipeline-workers", 0, "per-run pipeline worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
 	queueDepth := flag.Int("queue", 0, "async job queue depth (default 4x workers)")
 	cacheSize := flag.Int("cache-size", 64, "analysis result cache entries (LRU)")
 	jobTimeout := flag.Duration("job-timeout", time.Minute, "per-job pipeline timeout")
@@ -59,6 +60,7 @@ func main() {
 	srv := server.New(server.Config{
 		Addr:            *addr,
 		Workers:         *workers,
+		PipelineWorkers: *pipelineWorkers,
 		QueueDepth:      *queueDepth,
 		CacheSize:       *cacheSize,
 		JobTimeout:      *jobTimeout,

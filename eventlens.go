@@ -62,6 +62,8 @@ type (
 	EventVariability = core.EventVariability
 	// ProjectionReport is the outcome of basis projection.
 	ProjectionReport = core.ProjectionReport
+	// Projector projects measurement vectors against a basis factorized once.
+	Projector = core.Projector
 	// SpecializedQRCPResult is the outcome of Algorithm 2 (Section V).
 	SpecializedQRCPResult = core.SpecializedQRCPResult
 	// MetricDefinition is a metric composed from raw events (Section VI).
@@ -105,9 +107,17 @@ var (
 	// FilterNoise runs the Section IV noise analysis.
 	FilterNoise = core.FilterNoise
 	// ProjectEvent expresses one measurement vector in a basis.
+	//
+	// Deprecated: it refactorizes the basis on every call; use NewProjector
+	// (one factorization, many projections) or BuildX.
 	ProjectEvent = core.ProjectEvent
+	// NewProjector factorizes a basis once for repeated projections.
+	NewProjector = core.NewProjector
 	// BuildX projects all kept events and assembles the QRCP input.
 	BuildX = core.BuildX
+	// BuildXWorkers is BuildX with an explicit worker-pool size (0 means
+	// GOMAXPROCS, 1 forces the serial path; results are byte-identical).
+	BuildXWorkers = core.BuildXWorkers
 	// SpecializedQRCP is the paper's Algorithm 2.
 	SpecializedQRCP = core.SpecializedQRCP
 	// RoundToGrid is the paper's noise-tolerant rounding R(u).
@@ -138,6 +148,10 @@ type (
 var (
 	// FilterNoiseWith is FilterNoise with a pluggable noise measure.
 	FilterNoiseWith = core.FilterNoiseWith
+	// FilterNoiseWithWorkers is FilterNoiseWith with an explicit worker-pool
+	// size (0 means GOMAXPROCS, 1 forces the serial path; results are
+	// byte-identical).
+	FilterNoiseWithWorkers = core.FilterNoiseWithWorkers
 	// MaxPairwiseMAD is a median-based, glitch-robust noise measure.
 	MaxPairwiseMAD = core.MaxPairwiseMAD
 	// MaxCV is the classical coefficient-of-variation noise measure.

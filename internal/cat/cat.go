@@ -17,6 +17,7 @@ import (
 
 	"github.com/perfmetrics/eventlens/internal/core"
 	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/par"
 )
 
 // RunConfig controls a benchmark run. Its JSON form is canonical — every
@@ -29,6 +30,12 @@ type RunConfig struct {
 	// Threads is the number of concurrent measuring threads; only the data
 	// cache benchmark uses more than one.
 	Threads int `json:"threads"`
+	// Workers bounds the collection worker pool: 0 (the default, omitted
+	// from JSON) means GOMAXPROCS, 1 is the serial path. Measurement noise
+	// is seeded purely by (platform, event, group, point, rep, thread)
+	// coordinates, so any worker count collects byte-identical data —
+	// which is why Workers is excluded from String() and cache keys.
+	Workers int `json:"workers,omitempty"`
 }
 
 // DefaultRunConfig matches the paper's setup: 5 repetitions, single thread.
@@ -37,7 +44,8 @@ func DefaultRunConfig() RunConfig {
 }
 
 // String renders the configuration in a canonical compact form suitable for
-// cache keys: equal configurations always render identically.
+// cache keys: equal configurations always render identically. Workers is
+// excluded: it cannot change results, so it must not split cache entries.
 func (c RunConfig) String() string {
 	return fmt.Sprintf("reps=%d,threads=%d", c.Reps, c.Threads)
 }
@@ -50,6 +58,9 @@ func (c RunConfig) Validate() error {
 	if c.Threads < 1 {
 		return fmt.Errorf("cat: threads must be >= 1, got %d", c.Threads)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("cat: workers must be >= 0 (0 means GOMAXPROCS), got %d", c.Workers)
+	}
 	return nil
 }
 
@@ -57,32 +68,35 @@ func (c RunConfig) Validate() error {
 // a time and yields each event's per-repetition vectors (median-reduced over
 // threads). Peak memory is one group's worth of measurements rather than the
 // whole catalog — the collection mode that scales to the hundreds of
-// thousands of events the paper's introduction describes.
+// thousands of events the paper's introduction describes. Within each group
+// the reps x threads measurements fan out across cfg.Workers; events are
+// still yielded strictly in catalog order with values identical to the
+// serial path's.
 func StreamEvents(p *machine.Platform, points []machine.Stats, cfg RunConfig) core.EventSource {
 	return func(yield func(string, [][]float64) error) error {
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
 		for _, group := range p.Groups(p.Catalog.Names()) {
-			// event -> rep -> thread vectors for this group only.
-			perEvent := make(map[string][][][]float64, len(group))
-			for rep := 0; rep < cfg.Reps; rep++ {
-				for thread := 0; thread < cfg.Threads; thread++ {
-					vectors, err := p.Measure(points, group, rep, thread)
-					if err != nil {
-						return err
-					}
-					for _, name := range group {
-						for len(perEvent[name]) <= rep {
-							perEvent[name] = append(perEvent[name], nil)
-						}
-						perEvent[name][rep] = append(perEvent[name][rep], vectors[name])
-					}
-				}
+			group := group
+			nRT := cfg.Reps * cfg.Threads
+			measured := make([]map[string][]float64, nRT)
+			err := par.ForErr(cfg.Workers, nRT, func(i int) error {
+				rep, thread := i/cfg.Threads, i%cfg.Threads
+				vectors, err := p.Measure(points, group, rep, thread)
+				measured[i] = vectors
+				return err
+			})
+			if err != nil {
+				return err
 			}
 			for _, name := range group {
 				reps := make([][]float64, 0, cfg.Reps)
-				for _, threadVectors := range perEvent[name] {
+				for rep := 0; rep < cfg.Reps; rep++ {
+					threadVectors := make([][]float64, cfg.Threads)
+					for thread := 0; thread < cfg.Threads; thread++ {
+						threadVectors[thread] = measured[rep*cfg.Threads+thread][name]
+					}
 					reps = append(reps, core.MedianOverThreads(threadVectors))
 				}
 				if err := yield(name, reps); err != nil {
@@ -97,15 +111,48 @@ func StreamEvents(p *machine.Platform, points []machine.Stats, cfg RunConfig) co
 // measureInto measures every platform event over the points for all
 // reps/threads and appends the measurements to the set.
 func measureInto(set *core.MeasurementSet, p *machine.Platform, points []machine.Stats, cfg RunConfig) error {
+	return measureIntoPoints(set, p, func(int) []machine.Stats { return points }, cfg)
+}
+
+// measureIntoPoints is measureInto for benchmarks whose ground-truth points
+// differ per measuring thread (the data-cache chases run on disjoint
+// buffers). The (rep, thread, group) measurement space fans out across
+// cfg.Workers; each task's noise is seeded purely by its coordinates — the
+// group index is the one the group holds in the platform's full schedule —
+// so concurrent collection reproduces the serial path's bytes exactly.
+// Measurements are appended to the set in the serial (rep, thread, catalog)
+// order afterwards.
+func measureIntoPoints(set *core.MeasurementSet, p *machine.Platform, pointsFor func(thread int) []machine.Stats, cfg RunConfig) error {
+	names := p.Catalog.Names()
+	groups := p.Groups(names)
+	nG := len(groups)
+	tasks := cfg.Reps * cfg.Threads * nG
+	results := make([]map[string][]float64, tasks)
+	err := par.ForErr(cfg.Workers, tasks, func(i int) error {
+		gi := i % nG
+		rt := i / nG
+		thread := rt % cfg.Threads
+		rep := rt / cfg.Threads
+		vectors, err := p.MeasureGroup(pointsFor(thread), groups[gi], gi, rep, thread)
+		results[i] = vectors
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	idx := 0
 	for rep := 0; rep < cfg.Reps; rep++ {
 		for thread := 0; thread < cfg.Threads; thread++ {
-			vectors, err := p.MeasureAll(points, rep, thread)
-			if err != nil {
-				return err
+			merged := make(map[string][]float64, len(names))
+			for gi := 0; gi < nG; gi++ {
+				for name, vec := range results[idx] {
+					merged[name] = vec
+				}
+				idx++
 			}
 			// Catalog order keeps downstream tie-breaking deterministic.
-			for _, name := range p.Catalog.Names() {
-				err := set.Add(name, core.Measurement{Rep: rep, Thread: thread, Vector: vectors[name]})
+			for _, name := range names {
+				err := set.Add(name, core.Measurement{Rep: rep, Thread: thread, Vector: merged[name]})
 				if err != nil {
 					return err
 				}

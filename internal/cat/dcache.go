@@ -142,7 +142,9 @@ func (b *DCache) Basis() (*core.Basis, error) {
 }
 
 // Run executes the sweep on cfg.Threads concurrent threads and measures
-// every event per repetition and thread.
+// every event per repetition and thread. Ground truth and measurement both
+// fan out across workers; the measurement set is assembled in the serial
+// (rep, thread, catalog) order.
 func (b *DCache) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -165,19 +167,8 @@ func (b *DCache) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet, 
 		}
 	}
 	set := core.NewMeasurementSet("dcache", p.Name, b.PointNames())
-	for rep := 0; rep < cfg.Reps; rep++ {
-		for t := 0; t < cfg.Threads; t++ {
-			vectors, err := p.MeasureAll(perThread[t], rep, t)
-			if err != nil {
-				return nil, err
-			}
-			for _, name := range p.Catalog.Names() {
-				err := set.Add(name, core.Measurement{Rep: rep, Thread: t, Vector: vectors[name]})
-				if err != nil {
-					return nil, err
-				}
-			}
-		}
+	if err := measureIntoPoints(set, p, func(t int) []machine.Stats { return perThread[t] }, cfg); err != nil {
+		return nil, err
 	}
 	return set, nil
 }

@@ -30,6 +30,36 @@ func TestRunConfigJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// Workers round-trips through JSON when set, disappears from the canonical
+// form when zero, and never leaks into String(): any worker count collects
+// identical bytes, so it must not split cache entries.
+func TestRunConfigWorkers(t *testing.T) {
+	cfg := RunConfig{Reps: 5, Threads: 2, Workers: 8}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"reps":5,"threads":2,"workers":8}`; string(data) != want {
+		t.Fatalf("JSON = %s, want %s", data, want)
+	}
+	var back RunConfig
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Fatalf("round trip changed config: %+v -> %+v", cfg, back)
+	}
+	if got, want := cfg.String(), (RunConfig{Reps: 5, Threads: 2}).String(); got != want {
+		t.Fatalf("Workers leaked into the cache key: %q vs %q", got, want)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (RunConfig{Reps: 5, Threads: 1, Workers: -1}).Validate(); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
 func TestRunConfigString(t *testing.T) {
 	if got, want := DefaultRunConfig().String(), "reps=5,threads=1"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)

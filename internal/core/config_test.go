@@ -43,6 +43,35 @@ func TestConfigJSONKeys(t *testing.T) {
 	}
 }
 
+// Workers parallelism cannot change results, so it must round-trip as an API
+// field while staying invisible to the canonical JSON (when zero) and to
+// String() — two configs differing only in Workers share a cache entry.
+func TestConfigWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Fatalf("round trip changed config: %+v -> %s -> %+v", cfg, data, back)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["workers"] != 4 {
+		t.Fatalf("workers missing from JSON: %s", data)
+	}
+	if got, want := cfg.String(), DefaultConfig().String(); got != want {
+		t.Fatalf("Workers leaked into the cache key: %q vs %q", got, want)
+	}
+}
+
 func TestConfigStringCanonical(t *testing.T) {
 	a, b := DefaultConfig(), DefaultConfig()
 	if a.String() != b.String() {

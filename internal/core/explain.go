@@ -30,7 +30,17 @@ type Explanation struct {
 // projection-residual threshold separating representable from
 // unrepresentable events.
 func ExplainEvent(b *Basis, event string, m []float64, alpha, relTol float64) (*Explanation, error) {
-	p, err := ProjectEvent(b, event, m)
+	projector, err := NewProjector(b)
+	if err != nil {
+		return nil, err
+	}
+	return explainWith(b, projector, event, m, alpha, relTol)
+}
+
+// explainWith explains one event against an already-factorized basis, so
+// callers explaining many events (ExplainKept) pay for one factorization.
+func explainWith(b *Basis, projector *Projector, event string, m []float64, alpha, relTol float64) (*Explanation, error) {
+	p, err := projector.Project(event, m)
 	if err != nil {
 		return nil, err
 	}
@@ -57,11 +67,15 @@ func ExplainEvent(b *Basis, event string, m []float64, alpha, relTol float64) (*
 }
 
 // ExplainKept explains every event that survived a noise report, keyed by
-// name.
+// name. The basis is factorized once and reused across events.
 func ExplainKept(b *Basis, noise *NoiseReport, alpha, relTol float64) (map[string]*Explanation, error) {
+	projector, err := NewProjector(b)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]*Explanation, len(noise.KeptOrder))
 	for _, event := range noise.KeptOrder {
-		e, err := ExplainEvent(b, event, noise.Kept[event], alpha, relTol)
+		e, err := explainWith(b, projector, event, noise.Kept[event], alpha, relTol)
 		if err != nil {
 			return nil, err
 		}

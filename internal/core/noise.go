@@ -28,12 +28,16 @@ type EventVariability struct {
 func MaxRNMSE(vectors [][]float64) float64 {
 	maxErr := 0.0
 	n := float64(len(vectors[0]))
+	// One mean per vector, hoisted out of the O(reps²) pair loop — the pair
+	// loop itself runs allocation-free on the fused difference norm.
+	means := make([]float64, len(vectors))
+	for i, v := range vectors {
+		means[i] = mat.Mean(v)
+	}
 	for i := 0; i < len(vectors); i++ {
 		for j := i + 1; j < len(vectors); j++ {
-			mi := mat.Mean(vectors[i])
-			mj := mat.Mean(vectors[j])
 			var rnmse float64
-			den := n * mi * mj
+			den := n * means[i] * means[j]
 			if den <= 0 {
 				if mat.VecEqualApprox(vectors[i], vectors[j], 0) {
 					// Identical vectors carry no pairwise noise even if the
@@ -43,7 +47,7 @@ func MaxRNMSE(vectors [][]float64) float64 {
 					rnmse = 1
 				}
 			} else {
-				rnmse = mat.Norm2(mat.SubVec(vectors[i], vectors[j])) / math.Sqrt(den)
+				rnmse = mat.SubNorm2(vectors[i], vectors[j]) / math.Sqrt(den)
 			}
 			if rnmse > maxErr {
 				maxErr = rnmse

@@ -25,11 +25,18 @@ type Config struct {
 	// RoundTol is the coefficient-rounding tolerance for reported metric
 	// definitions (Section VI-D).
 	RoundTol float64 `json:"round_tol"`
+	// Workers bounds the analysis worker pool: 0 (the default, omitted from
+	// JSON) means GOMAXPROCS, 1 is the serial path. Any value produces
+	// byte-identical results — parallelism only changes wall-clock time — so
+	// Workers is deliberately excluded from String(), keeping cache keys
+	// canonical across differently-parallel requests for the same analysis.
+	Workers int `json:"workers,omitempty"`
 }
 
 // String renders the thresholds in a canonical compact form suitable for
 // cache keys: %g is shortest-exact for float64, so equal configurations
-// always render identically and distinct ones never collide.
+// always render identically and distinct ones never collide. Workers is
+// excluded: it cannot change results, so it must not split cache entries.
 func (c Config) String() string {
 	return fmt.Sprintf("tau=%g,alpha=%g,ptol=%g,rtol=%g",
 		c.Tau, c.Alpha, c.ProjectionTol, c.RoundTol)
@@ -89,11 +96,11 @@ func (p *Pipeline) AnalyzeContext(ctx context.Context, set *MeasurementSet) (*Re
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	noise := FilterNoise(set, p.Config.Tau)
+	noise := FilterNoiseWithWorkers(set, p.Config.Tau, MaxRNMSE, p.Config.Workers)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	proj, err := BuildX(p.Basis, noise.Kept, noise.KeptOrder, p.Config.ProjectionTol)
+	proj, err := BuildXWorkers(p.Basis, noise.Kept, noise.KeptOrder, p.Config.ProjectionTol, p.Config.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/perfmetrics/eventlens/internal/mat"
+	"github.com/perfmetrics/eventlens/internal/par"
 )
 
 // Projection is one raw event expressed in expectation coordinates
@@ -18,8 +19,13 @@ type Projection struct {
 }
 
 // ProjectEvent solves E * x = m by least squares for one event measurement
-// vector. For projecting many events against the same basis, NewProjector
-// factorizes E once and is much faster.
+// vector.
+//
+// Deprecated: ProjectEvent refactorizes the basis on every call — an O(p·d²)
+// Householder QR repeated per event. For projecting more than one event
+// against the same basis, use NewProjector once and call Project per event;
+// BuildX does this (in parallel) for whole catalogs. ProjectEvent remains for
+// genuinely one-shot projections and API compatibility.
 func ProjectEvent(b *Basis, event string, m []float64) (*Projection, error) {
 	p, err := NewProjector(b)
 	if err != nil {
@@ -31,7 +37,8 @@ func ProjectEvent(b *Basis, event string, m []float64) (*Projection, error) {
 // Projector projects measurement vectors onto a basis using a Householder
 // QR factorization of E computed once — projecting an n-event catalog costs
 // one factorization plus n cheap triangular solves instead of n
-// factorizations.
+// factorizations. The factorization is read-only after construction, so one
+// Projector may serve concurrent Project calls.
 type Projector struct {
 	basis *Basis
 	qr    *mat.QR
@@ -47,17 +54,26 @@ func NewProjector(b *Basis) (*Projector, error) {
 	return &Projector{basis: b, qr: qr}, nil
 }
 
-// Project expresses one measurement vector in the basis.
+// Project expresses one measurement vector in the basis. It is safe to call
+// concurrently.
 func (p *Projector) Project(event string, m []float64) (*Projection, error) {
+	return p.projectScratch(event, m, make([]float64, p.basis.Points()))
+}
+
+// projectScratch is Project with a caller-owned scratch buffer (length >=
+// basis.Points()) for the triangular solve, so a worker projecting many
+// events allocates only each event's solution vector. Each concurrent caller
+// must own its scratch.
+func (p *Projector) projectScratch(event string, m []float64, scratch []float64) (*Projection, error) {
 	if len(m) != p.basis.Points() {
 		return nil, fmt.Errorf("core: event %q vector has %d points, basis has %d",
 			event, len(m), p.basis.Points())
 	}
-	x, err := p.qr.Solve(m)
+	x, err := p.qr.SolveScratch(m, scratch)
 	if err != nil {
 		return nil, fmt.Errorf("core: projecting %q: %w", event, err)
 	}
-	res := mat.Norm2(mat.SubVec(mat.MatVec(p.basis.E, x), m))
+	res := mat.ResidualNorm2(p.basis.E, x, m)
 	nrm := mat.Norm2(m)
 	rel := 0.0
 	if nrm > 0 {
@@ -82,23 +98,61 @@ type ProjectionReport struct {
 }
 
 // BuildX projects every kept event onto the basis and assembles the X matrix
-// from those that fit within relTol.
+// from those that fit within relTol. Projections run in parallel with
+// GOMAXPROCS workers; use BuildXWorkers for explicit control.
 func BuildX(b *Basis, kept map[string][]float64, order []string, relTol float64) (*ProjectionReport, error) {
+	return BuildXWorkers(b, kept, order, relTol, 0)
+}
+
+// BuildXWorkers is BuildX with an explicit worker count (<= 0 means
+// GOMAXPROCS, 1 is serial). The basis is factorized once; the read-only
+// factor is shared across workers, each of which owns one scratch buffer and
+// projects a contiguous block of events. The report is assembled in
+// measurement order afterwards, so the result is byte-identical for every
+// worker count.
+func BuildXWorkers(b *Basis, kept map[string][]float64, order []string, relTol float64, workers int) (*ProjectionReport, error) {
 	report := &ProjectionReport{Projections: make(map[string]*Projection)}
 	projector, err := NewProjector(b)
 	if err != nil {
 		return nil, err
 	}
-	var cols [][]float64
-	for _, event := range order {
-		m, ok := kept[event]
-		if !ok {
-			return nil, fmt.Errorf("core: event %q in order but not in kept set", event)
+	type outcome struct {
+		p   *Projection
+		err error
+	}
+	results := make([]outcome, len(order))
+	w := par.Workers(workers)
+	if w > len(order) {
+		w = len(order)
+	}
+	if w < 1 {
+		w = 1
+	}
+	chunk := (len(order) + w - 1) / w
+	par.For(w, w, func(ci int) {
+		lo, hi := ci*chunk, (ci+1)*chunk
+		if hi > len(order) {
+			hi = len(order)
 		}
-		p, err := projector.Project(event, m)
-		if err != nil {
+		// One scratch per worker: the per-event solve then allocates only
+		// its solution vector.
+		scratch := make([]float64, b.Points())
+		for i := lo; i < hi; i++ {
+			event := order[i]
+			m, ok := kept[event]
+			if !ok {
+				results[i].err = fmt.Errorf("core: event %q in order but not in kept set", event)
+				continue
+			}
+			results[i].p, results[i].err = projector.projectScratch(event, m, scratch)
+		}
+	})
+	var cols [][]float64
+	for i, event := range order {
+		if err := results[i].err; err != nil {
 			return nil, err
 		}
+		p := results[i].p
 		if p.RelResidual > relTol {
 			report.Dropped = append(report.Dropped, event)
 			continue

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/perfmetrics/eventlens/internal/mat"
+	"github.com/perfmetrics/eventlens/internal/par"
 )
 
 // This file implements the paper's stated future work: "methods to develop
@@ -106,11 +107,31 @@ func meanAbs(x []float64) float64 {
 
 // FilterNoiseWith is FilterNoise with a pluggable noise measure. Glitched
 // counters (NaN/Inf readings, or a non-finite measure) are treated as
-// maximally noisy and filtered regardless of tau.
+// maximally noisy and filtered regardless of tau. Events are analyzed in
+// parallel with GOMAXPROCS workers; use FilterNoiseWithWorkers for explicit
+// control (workers = 1 is the serial path).
 func FilterNoiseWith(set *MeasurementSet, tau float64, measure NoiseMeasure) *NoiseReport {
-	report := &NoiseReport{Kept: make(map[string][]float64), Tau: tau}
-	for _, event := range set.Order {
-		vectors := set.RepVectors(event)
+	return FilterNoiseWithWorkers(set, tau, measure, 0)
+}
+
+// noiseVerdict is one event's outcome, computed independently of every other
+// event's so the catalog dimension can fan out across workers.
+type noiseVerdict struct {
+	allZero bool
+	noise   float64
+	keep    bool
+	mean    []float64
+}
+
+// FilterNoiseWithWorkers is FilterNoiseWith with an explicit worker count
+// (<= 0 means GOMAXPROCS, 1 is serial). Each event's repetition reduction,
+// noise measure and averaging are independent, so the per-event verdicts are
+// computed concurrently and the report is assembled in measurement order
+// afterwards — the result is byte-identical for every worker count.
+func FilterNoiseWithWorkers(set *MeasurementSet, tau float64, measure NoiseMeasure, workers int) *NoiseReport {
+	verdicts := make([]noiseVerdict, len(set.Order))
+	par.For(workers, len(set.Order), func(i int) {
+		vectors := set.RepVectors(set.Order[i])
 		allZero := true
 		for _, v := range vectors {
 			if !mat.AllZero(v) {
@@ -119,19 +140,32 @@ func FilterNoiseWith(set *MeasurementSet, tau float64, measure NoiseMeasure) *No
 			}
 		}
 		if allZero {
-			report.Discarded = append(report.Discarded, event)
-			continue
+			verdicts[i].allZero = true
+			return
 		}
 		v := measure(vectors)
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			v = math.Inf(1)
 		}
-		report.Variabilities = append(report.Variabilities, EventVariability{Event: event, MaxRNMSE: v})
-		if v > tau || !allFinite(vectors) {
+		verdicts[i].noise = v
+		if v <= tau && allFinite(vectors) {
+			verdicts[i].keep = true
+			verdicts[i].mean = MeanVector(vectors)
+		}
+	})
+	report := &NoiseReport{Kept: make(map[string][]float64), Tau: tau}
+	for i, event := range set.Order {
+		d := verdicts[i]
+		if d.allZero {
+			report.Discarded = append(report.Discarded, event)
+			continue
+		}
+		report.Variabilities = append(report.Variabilities, EventVariability{Event: event, MaxRNMSE: d.noise})
+		if !d.keep {
 			report.Filtered = append(report.Filtered, event)
 			continue
 		}
-		report.Kept[event] = MeanVector(vectors)
+		report.Kept[event] = d.mean
 		report.KeptOrder = append(report.KeptOrder, event)
 	}
 	return report

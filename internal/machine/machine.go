@@ -173,21 +173,7 @@ func (p *Platform) Measure(points []Stats, names []string, rep, thread int) (map
 		go func(gi int, group []string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			vectors := make(map[string][]float64, len(group))
-			for _, name := range group {
-				def, ok := p.Catalog.Lookup(name)
-				if !ok {
-					results[gi].err = fmt.Errorf("machine: platform %s has no event %q", p.Name, name)
-					return
-				}
-				vec := make([]float64, len(points))
-				for pi, stats := range points {
-					ideal := def.Respond(stats)
-					vec[pi] = p.noisy(ideal, def, name, gi, pi, rep, thread)
-				}
-				vectors[name] = vec
-			}
-			results[gi].vectors = vectors
+			results[gi].vectors, results[gi].err = p.MeasureGroup(points, group, gi, rep, thread)
 		}(gi, group)
 	}
 	wg.Wait()
@@ -206,6 +192,30 @@ func (p *Platform) Measure(points []Stats, names []string, rep, thread int) (map
 // MeasureAll measures every cataloged event.
 func (p *Platform) MeasureAll(points []Stats, rep, thread int) (map[string][]float64, error) {
 	return p.Measure(points, p.Catalog.Names(), rep, thread)
+}
+
+// MeasureGroup measures one already-scheduled multiplexing group for one
+// repetition on one thread. groupIndex is the group's position within the
+// full measurement's group schedule — it is a noise-seed coordinate, so
+// callers that fan groups out across workers (internal/cat) must pass the
+// index the group has in Groups' order to reproduce Measure's values exactly.
+// The method reads only immutable platform state and is safe to call
+// concurrently from any number of goroutines.
+func (p *Platform) MeasureGroup(points []Stats, group []string, groupIndex, rep, thread int) (map[string][]float64, error) {
+	vectors := make(map[string][]float64, len(group))
+	for _, name := range group {
+		def, ok := p.Catalog.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("machine: platform %s has no event %q", p.Name, name)
+		}
+		vec := make([]float64, len(points))
+		for pi, stats := range points {
+			ideal := def.Respond(stats)
+			vec[pi] = p.noisy(ideal, def, name, groupIndex, pi, rep, thread)
+		}
+		vectors[name] = vec
+	}
+	return vectors, nil
 }
 
 // noisy perturbs an ideal count with the event's noise model.

@@ -2,6 +2,7 @@ package mat
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 )
@@ -23,6 +24,40 @@ func MatVec(a *Dense, x []float64) []float64 {
 		y[i] = Dot(a.RawRow(i), x)
 	}
 	return y
+}
+
+// ResidualNorm2 returns ||A*x - b||₂ without materializing A*x or the
+// difference vector. Row i's residual is Dot(A.Row(i), x) - b[i] and the norm
+// accumulation mirrors Norm2's scaling exactly, so the result is bitwise
+// identical to Norm2(SubVec(MatVec(a, x), b)) with zero allocations.
+func ResidualNorm2(a *Dense, x, b []float64) float64 {
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("mat: ResidualNorm2 dimension mismatch %dx%d * %d", a.rows, a.cols, len(x)))
+	}
+	if len(b) != a.rows {
+		panic(fmt.Sprintf("mat: ResidualNorm2 rhs length %d, want %d", len(b), a.rows))
+	}
+	var scale, ssq float64
+	ssq = 1
+	for i := 0; i < a.rows; i++ {
+		d := Dot(a.RawRow(i), x) - b[i]
+		if d == 0 {
+			continue
+		}
+		v := math.Abs(d)
+		if scale < v {
+			r := scale / v
+			ssq = 1 + ssq*r*r
+			scale = v
+		} else {
+			r := v / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
 }
 
 // MatTVec returns Aᵀ*x as a new slice. x must have length A.Rows().

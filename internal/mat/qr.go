@@ -154,10 +154,23 @@ func (f *QR) Q() *Dense {
 // factorization, returning x of length n. b must have length m.
 // It returns an error if R is singular to working precision.
 func (f *QR) Solve(b []float64) ([]float64, error) {
+	return f.SolveScratch(b, make([]float64, f.m))
+}
+
+// SolveScratch is Solve with a caller-provided scratch buffer of length m for
+// the Qᵀb intermediate, so repeated solves against one factorization (the
+// projection stage solves once per catalog event) allocate only the solution
+// vector. The factorization itself is read-only here: concurrent SolveScratch
+// calls are safe as long as each goroutine owns its scratch.
+func (f *QR) SolveScratch(b, scratch []float64) ([]float64, error) {
 	if len(b) != f.m {
 		return nil, fmt.Errorf("mat: QR solve rhs length %d, want %d", len(b), f.m)
 	}
-	c := CloneVec(b)
+	if len(scratch) < f.m {
+		return nil, fmt.Errorf("mat: QR solve scratch length %d, want >= %d", len(scratch), f.m)
+	}
+	c := scratch[:f.m]
+	copy(c, b)
 	f.QTVec(c)
 	x := make([]float64, f.n)
 	copy(x, c[:f.n])

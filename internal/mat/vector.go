@@ -42,6 +42,37 @@ func Norm2(x []float64) float64 {
 	return scale * math.Sqrt(ssq)
 }
 
+// SubNorm2 returns ||x-y||₂ without materializing the difference vector: it
+// performs exactly the operations of Norm2(SubVec(x, y)) — same scaling, same
+// element order — so results are bitwise identical to the composed form while
+// the temporary allocation disappears from the hot loop.
+func SubNorm2(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: SubNorm2 length mismatch %d vs %d", len(x), len(y)))
+	}
+	var scale, ssq float64
+	ssq = 1
+	for i, v := range x {
+		d := v - y[i]
+		if d == 0 {
+			continue
+		}
+		a := math.Abs(d)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
 // Norm1 returns the sum of absolute values of x.
 func Norm1(x []float64) float64 {
 	var s float64

@@ -1,0 +1,80 @@
+// Package par provides the bounded worker-pool fan-out primitive the
+// analysis pipeline uses to parallelize its embarrassingly parallel loops:
+// collection over (rep, thread, group) coordinates, noise measures over
+// events, and least-squares projections over kept events.
+//
+// Determinism is the caller's contract, not the scheduler's: every For body
+// writes only to its own index of a pre-sized result slice, and callers
+// assemble results in index order afterwards, so the output is byte-identical
+// no matter how many workers ran or how the scheduler interleaved them.
+package par
+
+import "runtime"
+
+// Workers resolves a workers knob: values <= 0 mean "use GOMAXPROCS", 1 is
+// the serial path, anything larger is an explicit pool size.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs f(i) for every i in [0, n) using at most workers goroutines.
+// With workers <= 1 (or n < 2) it runs entirely on the calling goroutine in
+// index order — the serial path has zero goroutine overhead by construction.
+// Indices are handed out in order but may complete out of order; f must not
+// depend on completion order.
+func For(workers, n int, f func(i int)) {
+	_ = ForErr(workers, n, func(i int) error {
+		f(i)
+		return nil
+	})
+}
+
+// ForErr is For with a fallible body. Every index runs regardless of other
+// indices' failures (bodies must therefore be safe to run unconditionally);
+// the error for the lowest index is returned, so the reported failure is the
+// same one the serial loop would have hit first had it not stopped early.
+func ForErr(workers, n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range next {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		const n = 57
+		var hits [n]int32
+		For(workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		err := ForErr(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail 3" {
+			t.Fatalf("workers=%d: got %v, want fail 3", workers, err)
+		}
+	}
+}
+
+func TestForErrRunsAllIndicesDespiteFailure(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		boom := errors.New("boom")
+		_ = ForErr(workers, 20, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 0 {
+				return boom
+			}
+			return nil
+		})
+		if ran != 20 {
+			t.Fatalf("workers=%d: ran %d of 20 indices", workers, ran)
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("body called for n=0")
+	}
+	if err := ForErr(4, -1, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatalf("n<0: %v", err)
+	}
+}

@@ -200,6 +200,9 @@ func (s *Server) resolve(req analyzeRequest) (suite.Benchmark, cat.RunConfig, co
 	if req.Run != nil {
 		run = *req.Run
 	}
+	if run.Workers == 0 {
+		run.Workers = s.cfg.PipelineWorkers
+	}
 	if err := run.Validate(); err != nil {
 		return suite.Benchmark{}, cat.RunConfig{}, core.Config{},
 			httpError{http.StatusBadRequest, err.Error()}
@@ -208,9 +211,16 @@ func (s *Server) resolve(req analyzeRequest) (suite.Benchmark, cat.RunConfig, co
 	if req.Config != nil {
 		cfg = *req.Config
 	}
+	if cfg.Workers == 0 {
+		cfg.Workers = s.cfg.PipelineWorkers
+	}
 	if cfg.Tau < 0 || cfg.Alpha <= 0 || cfg.ProjectionTol <= 0 {
 		return suite.Benchmark{}, cat.RunConfig{}, core.Config{},
 			httpError{http.StatusBadRequest, "config: tau must be >= 0, alpha and projection_tol must be > 0"}
+	}
+	if cfg.Workers < 0 {
+		return suite.Benchmark{}, cat.RunConfig{}, core.Config{},
+			httpError{http.StatusBadRequest, "config: workers must be >= 0 (0 means GOMAXPROCS)"}
 	}
 	return bench, run, cfg, nil
 }

@@ -26,6 +26,14 @@ type Config struct {
 	Addr string
 	// Workers is the async job pool size. Defaults to GOMAXPROCS.
 	Workers int
+	// PipelineWorkers bounds each pipeline run's internal worker pool
+	// (collection, noise filtering, projection). 0 leaves requests'
+	// run/config workers settings untouched (each defaulting to GOMAXPROCS
+	// inside the pipeline); a positive value fills in requests that did not
+	// set workers themselves. The knob never changes results — parallel and
+	// serial runs are byte-identical — so it does not participate in cache
+	// keys.
+	PipelineWorkers int
 	// QueueDepth bounds the async job queue; a full queue rejects new jobs
 	// with 503. Defaults to 4x Workers.
 	QueueDepth int
