@@ -1,8 +1,10 @@
 # Development entry points; CI runs the same targets.
 
 GO ?= go
+FUZZTIME ?= 10s
+COVER_FLOOR ?= 75.0
 
-.PHONY: build test race bench clean
+.PHONY: build test race verify fuzz cover golden bench clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +14,31 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Differential + metamorphic verification against the independent oracles in
+# internal/oracle, plus the golden-snapshot existence check. See TESTING.md.
+verify:
+	$(GO) run ./cmd/verify -quick
+
+# Short coverage-guided fuzzing on top of the committed seed corpora under
+# testdata/fuzz/. Each target needs its own invocation (go test limitation).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/catio
+	$(GO) test -run '^$$' -fuzz '^FuzzEvalPostfix$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzRoundToGrid$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzMaxRNMSE$$' -fuzztime $(FUZZTIME) ./internal/core
+
+# Total statement coverage with a hard floor, so coverage can only ratchet up.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); \
+		if ($$3 + 0 < $(COVER_FLOOR)) { printf "coverage %.1f%% is below the %.1f%% floor\n", $$3, $(COVER_FLOOR); exit 1 } \
+		else { printf "coverage %.1f%% (floor %.1f%%)\n", $$3, $(COVER_FLOOR) } }'
+
+# Rewrite every CLI golden snapshot after an intentional output change;
+# review `git diff cmd/*/testdata` before committing.
+golden:
+	$(GO) test ./cmd/... -run Golden -update
 
 # Smoke-run the table/figure/collection/projection benchmarks once each and
 # record the result as BENCH_2.json, so the performance trajectory is
@@ -23,4 +50,4 @@ bench:
 	@rm -f bench.out
 
 clean:
-	rm -f bench.out
+	rm -f bench.out cover.out

@@ -12,38 +12,44 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
-	"os"
+	"io"
 
 	"github.com/perfmetrics/eventlens/internal/cat"
 	"github.com/perfmetrics/eventlens/internal/catio"
+	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/core"
 	"github.com/perfmetrics/eventlens/internal/suite"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("analyze: ")
-	in := flag.String("in", "", "measurement file from catrun (optional)")
-	benchName := flag.String("bench", "", "benchmark whose basis/thresholds/signatures to use")
-	tau := flag.Float64("tau", 0, "override noise threshold tau")
-	alpha := flag.Float64("alpha", 0, "override QRCP tolerance alpha")
-	rounded := flag.Bool("rounded", false, "also print integer-rounded combinations")
-	autoTau := flag.Bool("autotau", false, "select tau automatically from the variability gap")
-	sensitivity := flag.Bool("sensitivity", false, "sweep alpha over 1e-5..1e-1 and report selection stability (Section V-E)")
-	presets := flag.Bool("presets", false, "emit PAPI-style preset definitions for the composable metrics")
-	explain := flag.String("explain", "", "explain what a raw event measures in the benchmark's basis ('all' for every kept event)")
-	ratios := flag.Bool("ratios", false, "also derive the benchmark's standard ratio metrics")
-	workersFlag := flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = serial; output is byte-identical either way)")
-	flag.Parse()
+	cli.Main("analyze", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "measurement file from catrun (optional)")
+	benchName := fs.String("bench", "", "benchmark whose basis/thresholds/signatures to use")
+	tau := fs.Float64("tau", 0, "override noise threshold tau")
+	alpha := fs.Float64("alpha", 0, "override QRCP tolerance alpha")
+	rounded := fs.Bool("rounded", false, "also print integer-rounded combinations")
+	autoTau := fs.Bool("autotau", false, "select tau automatically from the variability gap")
+	sensitivity := fs.Bool("sensitivity", false, "sweep alpha over 1e-5..1e-1 and report selection stability (Section V-E)")
+	presets := fs.Bool("presets", false, "emit PAPI-style preset definitions for the composable metrics")
+	explain := fs.String("explain", "", "explain what a raw event measures in the benchmark's basis ('all' for every kept event)")
+	ratios := fs.Bool("ratios", false, "also derive the benchmark's standard ratio metrics")
+	workersFlag := fs.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = serial; output is byte-identical either way)")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	if *benchName == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return &cli.UsageError{Err: fmt.Errorf("missing -bench"), Quiet: true}
 	}
 	bench, err := suite.ByName(*benchName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg := bench.Config
 	if *tau > 0 {
@@ -53,7 +59,7 @@ func main() {
 		cfg.Alpha = *alpha
 	}
 	if *workersFlag < 0 {
-		log.Fatalf("workers must be >= 0 (0 means GOMAXPROCS), got %d", *workersFlag)
+		return cli.Usagef("workers must be >= 0 (0 means GOMAXPROCS), got %d", *workersFlag)
 	}
 	cfg.Workers = *workersFlag
 
@@ -61,44 +67,44 @@ func main() {
 	if *in != "" {
 		set, err = catio.ReadFile(*in)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if set.Benchmark != bench.Name {
-			log.Fatalf("measurement file holds %q data, benchmark is %q", set.Benchmark, bench.Name)
+			return fmt.Errorf("measurement file holds %q data, benchmark is %q", set.Benchmark, bench.Name)
 		}
 	} else {
 		platform, err := bench.NewPlatform()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		run := cat.RunConfig(bench.DefaultRun)
-		run.Workers = *workersFlag
-		set, err = bench.Run(platform, run)
+		runCfg := cat.RunConfig(bench.DefaultRun)
+		runCfg.Workers = *workersFlag
+		set, err = bench.Run(platform, runCfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	basis, err := bench.Basis()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *autoTau {
 		// Run a preliminary noise pass and pick tau from the widest gap in
 		// the variability spectrum.
 		pre := core.FilterNoise(set, cfg.Tau)
 		s := core.SuggestTau(pre.Variabilities)
-		fmt.Printf("auto tau: %.3e (gap of %.1f decades, %d events below, %d above)\n",
+		fmt.Fprintf(stdout, "auto tau: %.3e (gap of %.1f decades, %d events below, %d above)\n",
 			s.Tau, s.GapDecades, s.Below, s.Above)
 		cfg.Tau = s.Tau
 	}
 	pipe := &core.Pipeline{Basis: basis, Config: cfg}
 	res, err := pipe.Analyze(set)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *explain != "" {
-		fmt.Println("event explanations (in the basis:", basis.Names, "):")
+		fmt.Fprintln(stdout, "event explanations (in the basis:", basis.Names, "):")
 		names := res.Noise.KeptOrder
 		if *explain != "all" {
 			names = []string{*explain}
@@ -106,48 +112,49 @@ func main() {
 		for _, name := range names {
 			m, ok := res.Noise.Kept[name]
 			if !ok {
-				log.Fatalf("event %q not among the kept events (noisy, all-zero, or unknown)", name)
+				return fmt.Errorf("event %q not among the kept events (noisy, all-zero, or unknown)", name)
 			}
 			e, err := core.ExplainEvent(basis, name, m, cfg.Alpha, cfg.ProjectionTol)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Println(" ", e)
+			fmt.Fprintln(stdout, " ", e)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if *sensitivity {
 		sweep := core.DecadeSweep(1e-5, 1e-1, 9)
 		sens, err := core.AlphaSensitivity(res.Projection.X, res.Projection.Order, sweep)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Print(sens)
+		fmt.Fprint(stdout, sens)
 	}
 
 	defs, err := res.DefineMetrics(bench.Signatures)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(core.FormatAnalysisReport(res, cfg.ProjectionTol, bench.MetricTable, defs))
+	fmt.Fprint(stdout, core.FormatAnalysisReport(res, cfg.ProjectionTol, bench.MetricTable, defs))
 	if *rounded {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		roundedDefs := make([]*core.MetricDefinition, len(defs))
 		for i, d := range defs {
 			roundedDefs[i] = d.Rounded(cfg.RoundTol)
 		}
-		fmt.Print(core.FormatMetricTable("integer-rounded combinations:", roundedDefs))
+		fmt.Fprint(stdout, core.FormatMetricTable("integer-rounded combinations:", roundedDefs))
 	}
 	if *presets {
-		fmt.Println()
-		fmt.Printf("# auto-generated presets for %s (%s benchmark)\n", set.Platform, bench.Name)
-		fmt.Print(core.FormatPresets(defs, cfg.RoundTol, 1e-6))
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "# auto-generated presets for %s (%s benchmark)\n", set.Platform, bench.Name)
+		fmt.Fprint(stdout, core.FormatPresets(defs, cfg.RoundTol, 1e-6))
 	}
 	if *ratios {
-		fmt.Println()
-		fmt.Println("derived ratio metrics:")
-		printRatios(bench.Name, defs, cfg.RoundTol)
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "derived ratio metrics:")
+		printRatios(stdout, bench.Name, defs, cfg.RoundTol)
 	}
+	return nil
 }
 
 // ratioSpecs names the standard ratio metrics per benchmark, as
@@ -167,23 +174,23 @@ var ratioSpecs = map[string][][3]string{
 }
 
 // printRatios derives and renders the benchmark's standard ratio metrics.
-func printRatios(benchName string, defs []*core.MetricDefinition, roundTol float64) {
+func printRatios(w io.Writer, benchName string, defs []*core.MetricDefinition, roundTol float64) {
 	byName := map[string]*core.MetricDefinition{}
 	for _, d := range defs {
 		byName[d.Metric] = d.Rounded(roundTol)
 	}
 	specs, ok := ratioSpecs[benchName]
 	if !ok {
-		fmt.Println("  (no standard ratios defined for this benchmark)")
+		fmt.Fprintln(w, "  (no standard ratios defined for this benchmark)")
 		return
 	}
 	for _, spec := range specs {
 		num, den := byName[spec[1]], byName[spec[2]]
 		ratio, err := core.NewRatioMetric(spec[0], num, den)
 		if err != nil {
-			fmt.Printf("  %s: %v\n", spec[0], err)
+			fmt.Fprintf(w, "  %s: %v\n", spec[0], err)
 			continue
 		}
-		fmt.Printf("  %s\n    events needed: %d\n", ratio, len(ratio.Events()))
+		fmt.Fprintf(w, "  %s\n    events needed: %d\n", ratio, len(ratio.Events()))
 	}
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/goldie"
+)
+
+// runCmd invokes run in-process and fails the test on an unexpected error.
+func runCmd(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%q): %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestGoldenCPUFlops(t *testing.T) {
+	out, _ := runCmd(t, "-bench", "cpu-flops", "-rounded")
+	goldie.Assert(t, "cpu-flops-rounded", []byte(out))
+}
+
+func TestGoldenBranchExtras(t *testing.T) {
+	out, _ := runCmd(t, "-bench", "branch", "-presets", "-ratios")
+	goldie.Assert(t, "branch-presets-ratios", []byte(out))
+}
+
+func TestFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-bench") {
+		t.Error("-h did not print usage")
+	}
+	var ue *cli.UsageError
+	if err := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+	if err := run(nil, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("missing -bench: got %v, want UsageError", err)
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-bench", "cpu-flops", "-workers", "-2"}, &stdout, &stderr)
+	var ue *cli.UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("got %v, want UsageError", err)
+	}
+	if !strings.Contains(err.Error(), "workers must be >= 0") {
+		t.Errorf("unhelpful message: %v", err)
+	}
+}

@@ -11,19 +11,26 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"strings"
 
+	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/machine"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("avail: ")
-	platformName := flag.String("platform", "spr", "platform: spr, mi250x, zen4")
-	grep := flag.String("grep", "", "only list events whose name contains this substring")
-	counts := flag.Bool("counts", false, "print catalog statistics only")
-	flag.Parse()
+	cli.Main("avail", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("avail", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	platformName := fs.String("platform", "spr", "platform: spr, mi250x, zen4")
+	grep := fs.String("grep", "", "only list events whose name contains this substring")
+	counts := fs.Bool("counts", false, "print catalog statistics only")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	var (
 		p   *machine.Platform
@@ -37,10 +44,10 @@ func main() {
 	case "zen4":
 		p, err = machine.Zen4()
 	default:
-		log.Fatalf("unknown platform %q (have spr, mi250x, zen4)", *platformName)
+		return cli.Usagef("unknown platform %q (have spr, mi250x, zen4)", *platformName)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	names := p.Catalog.SortedNames()
@@ -54,9 +61,9 @@ func main() {
 				exact++
 			}
 		}
-		fmt.Printf("%s: %d events (%d deterministic, %d noisy), %d programmable counters, %d counter constraints\n",
+		fmt.Fprintf(stdout, "%s: %d events (%d deterministic, %d noisy), %d programmable counters, %d counter constraints\n",
 			p.Name, len(names), exact, noisy, p.Counters, len(p.Constraints))
-		return
+		return nil
 	}
 	shown := 0
 	for _, name := range names {
@@ -72,8 +79,9 @@ func main() {
 		if c, ok := p.Constraints[name]; ok && c.Fixed >= 0 {
 			constraint = fmt.Sprintf("  [fixed counter %d]", c.Fixed)
 		}
-		fmt.Printf("%-56s %-14s %s%s\n", name, noise, def.Desc, constraint)
+		fmt.Fprintf(stdout, "%-56s %-14s %s%s\n", name, noise, def.Desc, constraint)
 		shown++
 	}
-	fmt.Printf("-- %d of %d events\n", shown, len(names))
+	fmt.Fprintf(stdout, "-- %d of %d events\n", shown, len(names))
+	return nil
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/goldie"
+)
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%q): %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+func TestGoldenCounts(t *testing.T) {
+	goldie.Assert(t, "spr-counts", []byte(runCmd(t, "-platform", "spr", "-counts")))
+}
+
+func TestGoldenGrep(t *testing.T) {
+	goldie.Assert(t, "mi250x-valu", []byte(runCmd(t, "-platform", "mi250x", "-grep", "VALU")))
+}
+
+func TestFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-platform") {
+		t.Error("-h did not print usage")
+	}
+	var ue *cli.UsageError
+	if err := run([]string{"-nope"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+	if err := run([]string{"-platform", "vax"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("unknown platform: got %v, want UsageError", err)
+	}
+}

@@ -17,10 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strconv"
 	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
 )
 
 // Result is one parsed benchmark line.
@@ -48,31 +49,40 @@ type Document struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "", "output file (default stdout)")
-	flag.Parse()
+	cli.Main("benchjson", func(args []string, stdout, stderr io.Writer) error {
+		return run(args, os.Stdin, stdout, stderr)
+	})
+}
 
-	doc, err := parse(os.Stdin)
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+
+	doc, err := parse(stdin)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if len(doc.Benchmarks) == 0 {
-		log.Fatal("no benchmark lines found in input")
+		return fmt.Errorf("no benchmark lines found in input")
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		os.Stdout.Write(data)
-		return
+		_, err := stdout.Write(data)
+		return err
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	return nil
 }
 
 // parse scans go-test benchmark output, collecting header fields and results.

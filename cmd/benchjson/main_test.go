@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/goldie"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/perfmetrics/eventlens
+cpu: Example CPU @ 2.00GHz
+BenchmarkCollectDCache-8   	      10	 110250 ns/op	   64320 B/op	     212 allocs/op
+BenchmarkQRCP-8            	    5000	    2150 ns/op
+PASS
+ok  	github.com/perfmetrics/eventlens	1.234s
+`
+
+func TestGoldenConvert(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleBench), &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	goldie.Assert(t, "convert", stdout.Bytes())
+}
+
+func TestMalformedLine(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(nil, strings.NewReader("BenchmarkBroken-8 10\n"), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("got %v, want malformed-line error", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\n"), &stdout, &stderr); err == nil {
+		t.Error("empty input must be an error, not an empty document")
+	}
+}
+
+func TestFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, strings.NewReader(""), &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-out") {
+		t.Error("-h did not print usage")
+	}
+	var ue *cli.UsageError
+	if err := run([]string{"-nope"}, strings.NewReader(""), &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+}

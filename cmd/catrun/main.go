@@ -10,39 +10,52 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/perfmetrics/eventlens/internal/cat"
 	"github.com/perfmetrics/eventlens/internal/catio"
+	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/suite"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("catrun: ")
-	benchName := flag.String("bench", "", "benchmark to run: "+strings.Join(suite.Names(), ", "))
-	out := flag.String("out", "", "output path (.json or .json.gz)")
-	reps := flag.Int("reps", 0, "repetitions (default: benchmark-specific)")
-	threads := flag.Int("threads", 0, "measuring threads (default: benchmark-specific)")
-	list := flag.Bool("list", false, "list available benchmarks and exit")
-	csvOut := flag.String("csv", "", "also export measurements as CSV to this path")
-	flag.Parse()
+	cli.Main("catrun", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("catrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchName := fs.String("bench", "", "benchmark to run: "+strings.Join(suite.Names(), ", "))
+	out := fs.String("out", "", "output path (.json or .json.gz)")
+	reps := fs.Int("reps", 0, "repetitions (default: benchmark-specific)")
+	threads := fs.Int("threads", 0, "measuring threads (default: benchmark-specific)")
+	list := fs.Bool("list", false, "list available benchmarks and exit")
+	csvOut := fs.String("csv", "", "also export measurements as CSV to this path")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, b := range suite.All() {
-			fmt.Printf("%-10s %s (Table %s, Figure %s)\n", b.Name, b.Description, b.MetricTable, b.Figure)
+			fmt.Fprintf(stdout, "%-10s %s (Table %s, Figure %s)\n", b.Name, b.Description, b.MetricTable, b.Figure)
 		}
-		return
+		return nil
 	}
 	if *benchName == "" || *out == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return &cli.UsageError{Err: fmt.Errorf("missing -bench or -out"), Quiet: true}
+	}
+	if *reps < 0 {
+		return cli.Usagef("reps must be >= 1 (0 means the benchmark default), got %d", *reps)
+	}
+	if *threads < 0 {
+		return cli.Usagef("threads must be >= 1 (0 means the benchmark default), got %d", *threads)
 	}
 	bench, err := suite.ByName(*benchName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg := bench.DefaultRun
 	if *reps > 0 {
@@ -53,27 +66,28 @@ func main() {
 	}
 	platform, err := bench.NewPlatform()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("running %s on %s (%d events, %d reps, %d threads)",
+	fmt.Fprintf(stderr, "catrun: running %s on %s (%d events, %d reps, %d threads)\n",
 		bench.Name, platform.Name, platform.Catalog.Len(), cfg.Reps, cfg.Threads)
 	set, err := bench.Run(platform, cat.RunConfig{Reps: cfg.Reps, Threads: cfg.Threads})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := catio.WriteFile(*out, set); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("wrote %d events x %d points to %s", len(set.Order), len(set.PointNames), *out)
+	fmt.Fprintf(stderr, "catrun: wrote %d events x %d points to %s\n", len(set.Order), len(set.PointNames), *out)
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := catio.WriteCSV(f, set); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		log.Printf("wrote CSV export to %s", *csvOut)
+		fmt.Fprintf(stderr, "catrun: wrote CSV export to %s\n", *csvOut)
 	}
+	return nil
 }

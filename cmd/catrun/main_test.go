@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/catio"
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/goldie"
+)
+
+func runCmd(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%q): %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestGoldenList(t *testing.T) {
+	out, _ := runCmd(t, "-list")
+	goldie.Assert(t, "list", []byte(out))
+}
+
+// TestRunRoundTrip runs the cheapest benchmark end to end and reads the file
+// back — catrun's whole contract, minus the golden-unfriendly file paths.
+func TestRunRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "branch.json.gz")
+	_, logs := runCmd(t, "-bench", "branch", "-out", out, "-reps", "2")
+	if !strings.Contains(logs, "wrote") {
+		t.Errorf("no progress log on stderr: %q", logs)
+	}
+	set, err := catio.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Benchmark != "branch" || len(set.Order) == 0 {
+		t.Errorf("round-trip set: benchmark %q, %d events", set.Benchmark, len(set.Order))
+	}
+}
+
+func TestFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-bench") {
+		t.Error("-h did not print usage")
+	}
+	var ue *cli.UsageError
+	if err := run([]string{"-nope"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+	if err := run(nil, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("missing -bench/-out: got %v, want UsageError", err)
+	}
+}
+
+// TestNegativeRunConfigRejected pins the fix for silently-ignored negative
+// -reps/-threads: they are now usage errors.
+func TestNegativeRunConfigRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "branch", "-out", "x.json", "-reps", "-1"},
+		{"-bench", "branch", "-out", "x.json", "-threads", "-3"},
+	} {
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		var ue *cli.UsageError
+		if !errors.As(err, &ue) {
+			t.Errorf("run(%q): got %v, want UsageError", args, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must be >= 1") {
+			t.Errorf("run(%q): unhelpful message %q", args, err)
+		}
+	}
+}

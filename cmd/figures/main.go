@@ -17,9 +17,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 
 	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/core"
 	"github.com/perfmetrics/eventlens/internal/cpusim"
 	"github.com/perfmetrics/eventlens/internal/suite"
@@ -27,121 +28,134 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("figures: ")
-	fig := flag.String("fig", "", "figure to regenerate: 1, 2a, 2b, 2c, 2d, 3 (default all)")
-	csv := flag.Bool("csv", false, "emit CSV data instead of ASCII plots")
-	flag.Parse()
+	cli.Main("figures", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "", "figure to regenerate: 1, 2a, 2b, 2c, 2d, 3 (default all)")
+	csv := fs.Bool("csv", false, "emit CSV data instead of ASCII plots")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	if *fig == "" || *fig == "1" {
-		figure1()
+		figure1(stdout)
 	}
 	for _, bench := range suite.All() {
 		if *fig == "" || *fig == bench.Figure {
-			figure2(bench, *csv)
+			if err := figure2(stdout, bench, *csv); err != nil {
+				return err
+			}
 		}
 	}
 	if *fig == "" || *fig == "3" {
-		figure3(*csv)
+		if err := figure3(stdout, *csv); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // figure1 renders the structure of the K_SCAL microkernel (the paper's
 // Figure 1): three loop blocks with known instruction counts.
-func figure1() {
+func figure1(w io.Writer) {
 	spec := cpusim.FlopsKernelSpec{Prec: cpusim.DP, Width: cpusim.Scalar}
 	kernel := cpusim.BuildFlopsKernel(spec)
 	exp := cpusim.ExpectedFPInstrs(spec)
-	fmt.Printf("Figure 1: double-precision scalar floating-point kernel, K_SCAL (%s)\n", kernel.Name)
+	fmt.Fprintf(w, "Figure 1: double-precision scalar floating-point kernel, K_SCAL (%s)\n", kernel.Name)
 	for i, block := range kernel.Blocks {
-		fmt.Printf("  +--------------------------------------+\n")
-		fmt.Printf("  | Block x%-3d times                     |\n", block.Trips)
-		fmt.Printf("  | Body: %d FP instrs -> %3.0f DP scalar   |\n", len(block.Body), exp[i])
-		fmt.Printf("  |       instructions per loop          |\n")
-		fmt.Printf("  +--------------------------------------+\n")
+		fmt.Fprintf(w, "  +--------------------------------------+\n")
+		fmt.Fprintf(w, "  | Block x%-3d times                     |\n", block.Trips)
+		fmt.Fprintf(w, "  | Body: %d FP instrs -> %3.0f DP scalar   |\n", len(block.Body), exp[i])
+		fmt.Fprintf(w, "  |       instructions per loop          |\n")
+		fmt.Fprintf(w, "  +--------------------------------------+\n")
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // figure2 renders one panel of Figure 2: sorted event variabilities.
-func figure2(bench suite.Benchmark, csv bool) {
+func figure2(w io.Writer, bench suite.Benchmark, csv bool) error {
 	platform, err := bench.NewPlatform()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	set, err := bench.Run(platform, cat.RunConfig(bench.DefaultRun))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	report := core.FilterNoise(set, bench.Config.Tau)
 	sorted := report.SortedVariabilities()
 	title := fmt.Sprintf("Figure %s: sorted event variabilities (CAT %s benchmark, %s)",
 		bench.Figure, bench.Name, platform.Name)
 	if csv {
-		fmt.Println(title)
-		fmt.Println("index,event,max_rnmse")
+		fmt.Fprintln(w, title)
+		fmt.Fprintln(w, "index,event,max_rnmse")
 		for i, v := range sorted {
-			fmt.Printf("%d,%s,%g\n", i, v.Event, v.MaxRNMSE)
+			fmt.Fprintf(w, "%d,%s,%g\n", i, v.Event, v.MaxRNMSE)
 		}
-		fmt.Println()
-		return
+		fmt.Fprintln(w)
+		return nil
 	}
 	values := make([]float64, len(sorted))
 	for i, v := range sorted {
 		values[i] = v.MaxRNMSE
 	}
-	fmt.Print(textplot.LogScatter(title, values, bench.Config.Tau, 70, 16))
-	fmt.Println()
+	fmt.Fprint(w, textplot.LogScatter(title, values, bench.Config.Tau, 70, 16))
+	fmt.Fprintln(w)
+	return nil
 }
 
 // figure3 renders the six cache-metric approximation panels.
-func figure3(csv bool) {
+func figure3(w io.Writer, csv bool) error {
 	bench, err := suite.ByName("dcache")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, _, err := bench.Analyze(cat.RunConfig(bench.DefaultRun))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	basis, err := bench.Basis()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	labels := make([]string, len(basis.PointNames))
 	copy(labels, basis.PointNames)
 	for _, sig := range core.CacheSignatures() {
 		def, err := res.DefineMetric(sig)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rounded := def.Rounded(bench.Config.RoundTol)
 		combo, err := rounded.Combine(res.Noise.Kept)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		want, err := basis.Expand(sig.Coeffs)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		title := fmt.Sprintf("Figure 3: %s from raw events (CAT data cache benchmark)", sig.Name)
 		if csv {
-			fmt.Println(title)
-			fmt.Println("point,combination,signature")
+			fmt.Fprintln(w, title)
+			fmt.Fprintln(w, "point,combination,signature")
 			for i := range combo {
-				fmt.Printf("%s,%g,%g\n", labels[i], combo[i], want[i])
+				fmt.Fprintf(w, "%s,%g,%g\n", labels[i], combo[i], want[i])
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 			continue
 		}
-		fmt.Print(textplot.Series(title, combo, want, labels, 70, 10))
-		fmt.Printf("  combination: ")
+		fmt.Fprint(w, textplot.Series(title, combo, want, labels, 70, 10))
+		fmt.Fprintf(w, "  combination: ")
 		for i, t := range rounded.NonZeroTerms() {
 			if i > 0 {
-				fmt.Printf(" + ")
+				fmt.Fprintf(w, " + ")
 			}
-			fmt.Printf("%g x %s", t.Coeff, t.Event)
+			fmt.Fprintf(w, "%g x %s", t.Coeff, t.Event)
 		}
-		fmt.Printf("   (error %.3g)\n\n", def.BackwardError)
+		fmt.Fprintf(w, "   (error %.3g)\n\n", def.BackwardError)
 	}
+	return nil
 }

@@ -15,10 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/core"
 	"github.com/perfmetrics/eventlens/internal/cpusim"
 	"github.com/perfmetrics/eventlens/internal/machine"
@@ -26,25 +27,31 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("monitor: ")
-	workload := flag.String("workload", "triad", "workload: triad, daxpy, stencil, dot, mixed")
-	n := flag.Int("n", 500, "workload size (loop trips)")
-	presetsPath := flag.String("presets", "", "load presets from a file (default: derive from the CAT benchmark)")
-	flag.Parse()
+	cli.Main("monitor", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "triad", "workload: triad, daxpy, stencil, dot, mixed")
+	n := fs.Int("n", 500, "workload size (loop trips)")
+	presetsPath := fs.String("presets", "", "load presets from a file (default: derive from the CAT benchmark)")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	kernel := buildWorkload(*workload, *n)
 	if kernel == nil {
-		log.Fatalf("unknown workload %q", *workload)
+		return cli.Usagef("unknown workload %q", *workload)
 	}
 
 	presets, err := loadOrDerivePresets(*presetsPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	platform, err := machine.SapphireRapids()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Union of events the presets need, and the multiplexing plan.
@@ -59,7 +66,7 @@ func main() {
 		}
 	}
 	groups := platform.Groups(events)
-	fmt.Printf("monitoring %d events for %d presets in %d multiplexing round(s)\n\n",
+	fmt.Fprintf(stdout, "monitoring %d events for %d presets in %d multiplexing round(s)\n\n",
 		len(events), len(presets), len(groups))
 
 	// Run the workload and measure.
@@ -67,11 +74,11 @@ func main() {
 	stats := cat.CPUStats(counts)
 	vectors, err := platform.Measure([]machine.Stats{stats}, events, 0, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Evaluate every preset.
-	fmt.Printf("workload %s (n=%d):\n", kernel.Name, *n)
+	fmt.Fprintf(stdout, "workload %s (n=%d):\n", kernel.Name, *n)
 	for _, p := range presets {
 		vals := make([]float64, len(p.Events))
 		for i, e := range p.Events {
@@ -79,15 +86,16 @@ func main() {
 		}
 		v, err := p.Evaluate(vals)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  %-24s %12.0f\n", p.Name, v)
+		fmt.Fprintf(stdout, "  %-24s %12.0f\n", p.Name, v)
 	}
 
 	// Ground truth for the FLOP presets, straight from the simulator.
 	dp, sp := cpusim.TrueOps(counts)
-	fmt.Printf("\nsimulator ground truth: DP ops %0.f, SP ops %0.f, instructions %d\n",
+	fmt.Fprintf(stdout, "\nsimulator ground truth: DP ops %0.f, SP ops %0.f, instructions %d\n",
 		dp, sp, counts.Instructions)
+	return nil
 }
 
 // buildWorkload selects a kernel from the workload library.

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/goldie"
+)
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%q): %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+func TestGoldenTriad(t *testing.T) {
+	goldie.Assert(t, "triad", []byte(runCmd(t, "-workload", "triad")))
+}
+
+func TestFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-workload") {
+		t.Error("-h did not print usage")
+	}
+	var ue *cli.UsageError
+	if err := run([]string{"-nope"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+	if err := run([]string{"-workload", "fortran"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("unknown workload: got %v, want UsageError", err)
+	}
+}

@@ -9,22 +9,31 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
-	"os"
+	"io"
 
+	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/report"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("report: ")
+	cli.Main("report", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 	rep, err := report.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(rep.Markdown())
+	fmt.Fprint(stdout, rep.Markdown())
 	if failed := rep.Failed(); len(failed) > 0 {
-		os.Exit(1)
+		return fmt.Errorf("%d reproduction check(s) failed", len(failed))
 	}
+	return nil
 }

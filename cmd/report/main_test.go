@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/goldie"
+)
+
+// TestGoldenReport runs the complete reproduction — all four benchmarks —
+// and snapshots the markdown. A diff here means a paper-facing result moved.
+func TestGoldenReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err != nil {
+		t.Fatalf("reproduction failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	goldie.Assert(t, "report", stdout.Bytes())
+}
+
+func TestFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	var ue *cli.UsageError
+	if err := run([]string{"-nope"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+}

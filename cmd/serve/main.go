@@ -29,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -36,28 +37,31 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "async job worker pool size")
-	pipelineWorkers := flag.Int("pipeline-workers", 0, "per-run pipeline worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
-	queueDepth := flag.Int("queue", 0, "async job queue depth (default 4x workers)")
-	cacheSize := flag.Int("cache-size", 64, "analysis result cache entries (LRU)")
-	jobTimeout := flag.Duration("job-timeout", time.Minute, "per-job pipeline timeout")
-	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
-	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
-	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
-	flag.Parse()
+	cli.Main("eventlensd", run)
+}
 
-	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
-	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("eventlensd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "async job worker pool size")
+	pipelineWorkers := fs.Int("pipeline-workers", 0, "per-run pipeline worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
+	queueDepth := fs.Int("queue", 0, "async job queue depth (default 4x workers)")
+	cacheSize := fs.Int("cache-size", 64, "analysis result cache entries (LRU)")
+	jobTimeout := fs.Duration("job-timeout", time.Minute, "per-job pipeline timeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+	maxBody := fs.Int64("max-body", 1<<20, "maximum request body bytes")
+	logJSON := fs.Bool("log-json", false, "emit logs as JSON instead of text")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
 	}
-	logger := slog.New(handler)
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Addr:            *addr,
 		Workers:         *workers,
 		PipelineWorkers: *pipelineWorkers,
@@ -66,8 +70,21 @@ func main() {
 		JobTimeout:      *jobTimeout,
 		ShutdownTimeout: *shutdownTimeout,
 		MaxBodyBytes:    *maxBody,
-		Logger:          logger,
-	})
+	}
+	// Reject flag typos like -workers=-4 before binding a socket, with the
+	// usage exit status rather than a runtime failure.
+	if err := cfg.Validate(); err != nil {
+		return cli.Usagef("%v", err)
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(stderr, nil)
+	}
+	logger := slog.New(handler)
+	cfg.Logger = logger
+
+	srv := server.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -76,12 +93,13 @@ func main() {
 	// test) can find an ephemeral port.
 	go func() {
 		if a, err := srv.WaitAddr(ctx); err == nil {
-			fmt.Printf("eventlensd listening on http://%s\n", a)
+			fmt.Fprintf(stdout, "eventlensd listening on http://%s\n", a)
 		}
 	}()
 
 	if err := srv.Run(ctx); err != nil {
 		logger.Error("server failed", "err", err)
-		os.Exit(1)
+		return err
 	}
+	return nil
 }

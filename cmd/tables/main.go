@@ -13,9 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 
 	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/core"
 	"github.com/perfmetrics/eventlens/internal/suite"
 )
@@ -23,13 +24,19 @@ import (
 var tableNames = [9]string{"", "I", "II", "III", "IV", "V", "VI", "VII", "VIII"}
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tables: ")
-	table := flag.Int("table", 0, "table number 1-8 (0 = all)")
-	rounded := flag.Bool("rounded", false, "round metric coefficients to integers (Section VI-D)")
-	flag.Parse()
+	cli.Main("tables", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "table number 1-8 (0 = all)")
+	rounded := fs.Bool("rounded", false, "round metric coefficients to integers (Section VI-D)")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 	if *table < 0 || *table > 8 {
-		log.Fatalf("table must be 0-8, got %d", *table)
+		return cli.Usagef("table must be 0-8, got %d", *table)
 	}
 	// Signature tables come straight from the suite; metric tables need the
 	// pipeline. Benchmarks are ordered so benchmark i produces signature
@@ -39,17 +46,17 @@ func main() {
 		metTable := i + 5
 		if *table == 0 || *table == sigTable {
 			title := fmt.Sprintf("Table %s: %s metric signatures", tableNames[sigTable], bench.Name)
-			fmt.Print(core.FormatSignatureTable(title, bench.BasisSymbols, bench.Signatures))
-			fmt.Println()
+			fmt.Fprint(stdout, core.FormatSignatureTable(title, bench.BasisSymbols, bench.Signatures))
+			fmt.Fprintln(stdout)
 		}
 		if *table == 0 || *table == metTable {
 			res, _, err := bench.Analyze(cat.RunConfig(bench.DefaultRun))
 			if err != nil {
-				log.Fatalf("%s: %v", bench.Name, err)
+				return fmt.Errorf("%s: %v", bench.Name, err)
 			}
 			defs, err := res.DefineMetrics(bench.Signatures)
 			if err != nil {
-				log.Fatalf("%s: %v", bench.Name, err)
+				return fmt.Errorf("%s: %v", bench.Name, err)
 			}
 			if *rounded {
 				for j, d := range defs {
@@ -57,8 +64,9 @@ func main() {
 				}
 			}
 			title := fmt.Sprintf("Table %s: %s metrics from raw events", tableNames[metTable], bench.Name)
-			fmt.Print(core.FormatMetricTable(title, defs))
-			fmt.Println()
+			fmt.Fprint(stdout, core.FormatMetricTable(title, defs))
+			fmt.Fprintln(stdout)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,171 @@
+// Command verify is the repository's differential and metamorphic
+// verification driver. It cross-checks the production numerics against the
+// independent oracles in internal/oracle, runs every metamorphic pipeline
+// invariant on every suite benchmark, and confirms the golden CLI snapshots
+// exist. A non-zero exit status means the pipeline can no longer be trusted
+// mechanically — some check found a disagreement.
+//
+// Usage:
+//
+//	verify            (full run: 200 randomized problems per family)
+//	verify -quick     (CI lane: 50 problems per family, fewer seeds)
+//	verify -bench branch -cases 25   (one benchmark, custom case count)
+//
+// See TESTING.md for the verification strategy and tolerance rationale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/oracle"
+	"github.com/perfmetrics/eventlens/internal/suite"
+)
+
+// goldenCLIs lists the commands whose golden snapshots must exist, relative
+// to the repository root.
+var goldenCLIs = []string{"analyze", "report", "tables", "figures", "avail", "catrun", "monitor"}
+
+func main() {
+	cli.Main("verify", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "reduced run for CI: 50 cases per differential family, fewer metamorphic seeds")
+	seed := fs.Int64("seed", 1, "base seed for the randomized problem generator")
+	cases := fs.Int("cases", 0, "override randomized cases per differential family")
+	benchFilter := fs.String("bench", "", "only run metamorphic checks for these comma-separated benchmarks (default all)")
+	skipGoldens := fs.Bool("skip-goldens", false, "skip the golden-snapshot existence check (for runs outside the repo root)")
+	root := fs.String("root", ".", "repository root, for locating golden files")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+
+	n, mseeds, wconfigs := 200, 5, 2
+	if *quick {
+		n, mseeds, wconfigs = 50, 2, 1
+	}
+	if *cases > 0 {
+		n = *cases
+	}
+	benches, err := selectBenchmarks(*benchFilter)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+
+	var results []oracle.CheckResult
+
+	// Differential lane: production numerics vs the independent oracles.
+	fmt.Fprintf(stdout, "differential checks (seed %d, %d cases per family):\n", *seed, n)
+	p := oracle.NewProblems(*seed)
+	tol := oracle.DefaultTol()
+	for _, res := range []oracle.CheckResult{
+		oracle.CheckQRCPGaussian(p, n, tol),
+		oracle.CheckQRCPGraded(p, n, tol),
+		oracle.CheckQRCPRankDeficient(p, n),
+		oracle.CheckQRSolve(p, n, tol),
+		oracle.CheckLeastSquaresUnderdetermined(p, n, tol),
+		oracle.CheckProjector(p, n, tol),
+	} {
+		fmt.Fprintln(stdout, res.String())
+		results = append(results, res)
+	}
+
+	// Metamorphic lane: pipeline invariants on every suite benchmark.
+	seeds := make([]int64, mseeds)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+	fmt.Fprintf(stdout, "\nmetamorphic checks (%d seeds per invariant):\n", mseeds)
+	for _, bench := range benches {
+		f, err := oracle.NewFixture(bench)
+		if err != nil {
+			return fmt.Errorf("fixture %s: %v", bench.Name, err)
+		}
+		res := oracle.CheckScaling(f, []float64{2, 3.5, 0.125, 1e4}, tol)
+		fmt.Fprintln(stdout, res.String())
+		results = append(results, res)
+
+		res = oracle.CheckPermutation(f, seeds, tol)
+		fmt.Fprintln(stdout, res.String())
+		results = append(results, res)
+
+		res, skipped := oracle.CheckJitter(f, seeds)
+		if skipped > 0 {
+			fmt.Fprintf(stdout, "     (%d events inside the jitter guard band were not asserted)\n", skipped)
+		}
+		fmt.Fprintln(stdout, res.String())
+		results = append(results, res)
+
+		res = oracle.CheckWorkersDeterminism(bench, *seed, wconfigs)
+		fmt.Fprintln(stdout, res.String())
+		results = append(results, res)
+	}
+
+	// Golden lane: every CLI must have committed snapshots.
+	if !*skipGoldens {
+		fmt.Fprintln(stdout)
+		res := checkGoldens(*root)
+		fmt.Fprintln(stdout, res.String())
+		results = append(results, res)
+	}
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	fmt.Fprintf(stdout, "\nverify: %d checks, %d failed\n", len(results), failed)
+	if failed > 0 {
+		return fmt.Errorf("%d verification check(s) failed", failed)
+	}
+	return nil
+}
+
+// selectBenchmarks resolves the -bench filter against the suite registry.
+func selectBenchmarks(filter string) ([]suite.Benchmark, error) {
+	if filter == "" {
+		return suite.All(), nil
+	}
+	var out []suite.Benchmark
+	for _, name := range strings.Split(filter, ",") {
+		b, err := suite.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// checkGoldens verifies each golden CLI has at least one committed snapshot.
+func checkGoldens(root string) oracle.CheckResult {
+	res := oracle.CheckResult{Name: "golden/snapshots", Cases: len(goldenCLIs)}
+	for _, name := range goldenCLIs {
+		dir := filepath.Join(root, "cmd", name, "testdata", "golden")
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			res.Err = fmt.Errorf("cmd/%s has no golden directory (%v) — run `go test ./cmd/%s -update`", name, err, name)
+			return res
+		}
+		found := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".golden") {
+				found++
+			}
+		}
+		if found == 0 {
+			res.Err = fmt.Errorf("cmd/%s has an empty golden directory — run `go test ./cmd/%s -update`", name, name)
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+)
+
+// TestQuickSingleBenchmark exercises the whole driver on one cheap benchmark
+// with a reduced case count — the same code path CI runs at -quick scale.
+func TestQuickSingleBenchmark(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-quick", "-cases", "10", "-bench", "branch", "-root", "../.."}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("verify failed: %v\noutput:\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"qrcp/gaussian", "metamorphic/permutation branch", "golden/snapshots", "0 failed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGoldenCheckMissingDir(t *testing.T) {
+	res := checkGoldens(t.TempDir())
+	if res.Err == nil {
+		t.Fatal("missing golden directories must fail the check")
+	}
+	if !strings.Contains(res.Err.Error(), "-update") {
+		t.Errorf("error should say how to regenerate: %v", res.Err)
+	}
+}
+
+func TestFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-quick") {
+		t.Error("-h did not print usage")
+	}
+	var ue *cli.UsageError
+	if err := run([]string{"-nope"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+	if err := run([]string{"-bench", "no-such-bench"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("unknown benchmark: got %v, want UsageError", err)
+	}
+}

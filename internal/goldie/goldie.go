@@ -1,0 +1,78 @@
+// Package goldie compares test output against committed golden files and
+// rewrites them when the test binary is given -update. Golden files live in
+// testdata/golden/<name>.golden relative to the test's working directory
+// (the package directory), so each command owns its snapshots.
+//
+// Refresh workflow after an intentional output change:
+//
+//	go test ./cmd/... -run Golden -update
+//	git diff cmd/*/testdata   # review, then commit
+package goldie
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// Path returns the golden file location for a snapshot name, relative to the
+// calling package's directory.
+func Path(name string) string {
+	return filepath.Join("testdata", "golden", name+".golden")
+}
+
+// Update reports whether the test run was asked to rewrite golden files.
+func Update() bool { return *update }
+
+// Assert compares got against the named golden file, failing the test with a
+// line-level diff summary on mismatch. With -update it rewrites the file and
+// passes.
+func Assert(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := Path(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s — run `go test -run %s -update` in this package and commit the result: %v",
+			path, t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intentional):\n%s",
+			path, firstDiff(got, want))
+	}
+}
+
+// firstDiff renders the first differing line of two byte slices. The final
+// newline is trimmed before splitting so that a truncated output reports a
+// line-count mismatch rather than an empty phantom line.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(bytes.TrimSuffix(got, []byte("\n")), []byte("\n"))
+	wl := bytes.Split(bytes.TrimSuffix(want, []byte("\n")), []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, gl[i], wl[i])
+		}
+	}
+	if len(gl) == len(wl) {
+		return "outputs differ only in trailing whitespace"
+	}
+	return fmt.Sprintf("line counts differ: got %d lines, want %d", len(gl), len(wl))
+}

@@ -1,0 +1,37 @@
+package goldie
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAssertMatch(t *testing.T) {
+	dir := t.TempDir()
+	old, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	path := Path("sample")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("a\nb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Assert(t, "sample", []byte("a\nb\n")) // must not fail
+}
+
+func TestFirstDiff(t *testing.T) {
+	d := firstDiff([]byte("a\nX\n"), []byte("a\nb\n"))
+	if !strings.Contains(d, "line 2") || !strings.Contains(d, `"X"`) {
+		t.Errorf("unhelpful diff: %s", d)
+	}
+	d = firstDiff([]byte("a\n"), []byte("a\nb\n"))
+	if !strings.Contains(d, "line counts differ") {
+		t.Errorf("missing line-count diff: %s", d)
+	}
+}

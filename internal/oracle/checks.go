@@ -1,0 +1,304 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// CheckResult summarizes one differential or metamorphic check family.
+type CheckResult struct {
+	// Name identifies the check ("qrcp/gaussian", "lstsq/svd", ...).
+	Name string
+	// Cases is the number of randomized cases (or benchmark configurations)
+	// exercised.
+	Cases int
+	// MaxRel is the worst relative disagreement observed across passing
+	// comparisons — a drift dashboard: it should sit many orders of
+	// magnitude under the tolerance.
+	MaxRel float64
+	// Err is the first failure, nil when the check passed.
+	Err error
+}
+
+// String renders a one-line report entry.
+func (r CheckResult) String() string {
+	status := "ok  "
+	if r.Err != nil {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("%s %-28s cases=%-4d max-rel=%.2e", status, r.Name, r.Cases, r.MaxRel)
+	if r.Err != nil {
+		s += "\n     " + r.Err.Error()
+	}
+	return s
+}
+
+// observe folds a relative difference into the running maximum.
+func (r *CheckResult) observe(rel float64) {
+	if rel > r.MaxRel {
+		r.MaxRel = rel
+	}
+}
+
+// CheckQRCPGaussian compares mat.QRCP against the Gram–Schmidt oracle on n
+// dense Gaussian problems: identical pivot order and rank, and matching R
+// factors after normalizing each row to a non-negative diagonal (the two
+// algorithms differ in sign convention, not in the factorization).
+func CheckQRCPGaussian(p *Problems, n int, tol Tol) CheckResult {
+	res := CheckResult{Name: "qrcp/gaussian", Cases: n}
+	for i := 0; i < n; i++ {
+		a := p.Gaussian("qrcp-gaussian", i)
+		if err := compareQRCP(a, tol, true, &res); err != nil {
+			res.Err = fmt.Errorf("case %d (%dx%d): %w", i, a.Rows(), a.Cols(), err)
+			return res
+		}
+	}
+	return res
+}
+
+// CheckQRCPGraded is CheckQRCPGaussian over column-graded matrices (columns
+// scaled across eight orders of magnitude). The grading makes small R
+// entries meaningless to compare elementwise, so this variant checks the
+// structural outcome only: pivot order, rank, and the R diagonal.
+func CheckQRCPGraded(p *Problems, n int, tol Tol) CheckResult {
+	res := CheckResult{Name: "qrcp/graded", Cases: n}
+	for i := 0; i < n; i++ {
+		a := p.Graded("qrcp-graded", i)
+		if err := compareQRCP(a, tol, false, &res); err != nil {
+			res.Err = fmt.Errorf("case %d (%dx%d): %w", i, a.Rows(), a.Cols(), err)
+			return res
+		}
+	}
+	return res
+}
+
+// CheckQRCPRankDeficient verifies both implementations reveal the exact
+// known rank of random low-rank products and agree on the independent column
+// subset.
+func CheckQRCPRankDeficient(p *Problems, n int) CheckResult {
+	res := CheckResult{Name: "qrcp/rank-deficient", Cases: n}
+	for i := 0; i < n; i++ {
+		a, rank := p.RankDeficient("qrcp-rank", i)
+		got := mat.QRCP(a, 0)
+		ref := GramSchmidtQRCP(a, 0)
+		if got.Rank != rank || ref.Rank != rank {
+			res.Err = fmt.Errorf("case %d (%dx%d, true rank %d): mat.QRCP rank %d, oracle rank %d",
+				i, a.Rows(), a.Cols(), rank, got.Rank, ref.Rank)
+			return res
+		}
+		for k := 0; k < rank; k++ {
+			if got.Perm[k] != ref.Perm[k] {
+				res.Err = fmt.Errorf("case %d: pivot %d differs: mat.QRCP chose column %d, oracle %d",
+					i, k, got.Perm[k], ref.Perm[k])
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// compareQRCP runs both factorizations on a and compares them. With
+// elementwise set, the full sign-normalized R factors must agree; otherwise
+// only pivots, rank and the R diagonal.
+func compareQRCP(a *mat.Dense, tol Tol, elementwise bool, res *CheckResult) error {
+	got := mat.QRCP(a, 0)
+	ref := GramSchmidtQRCP(a, 0)
+	if sr := ref.Residual(a); sr > 1e-12 {
+		return fmt.Errorf("oracle self-check failed: reconstruction residual %.2e", sr)
+	}
+	if got.Rank != ref.Rank {
+		return fmt.Errorf("rank: mat.QRCP %d, oracle %d", got.Rank, ref.Rank)
+	}
+	for k := 0; k < len(got.Perm); k++ {
+		if got.Perm[k] != ref.Perm[k] {
+			return fmt.Errorf("pivot %d: mat.QRCP chose column %d, oracle %d", k, got.Perm[k], ref.Perm[k])
+		}
+	}
+	// Row-sign-normalize both R factors to a non-negative diagonal, then
+	// compare: the diagonals always, full rows only for elementwise checks.
+	scale := mat.FrobeniusNorm(a)
+	k, n := ref.R.Dims()
+	for i := 0; i < k; i++ {
+		gs, rs := 1.0, 1.0
+		if got.R.At(i, i) < 0 {
+			gs = -1
+		}
+		if ref.R.At(i, i) < 0 {
+			rs = -1
+		}
+		lo, hi := i, i+1
+		if elementwise {
+			hi = n
+		}
+		for j := lo; j < hi; j++ {
+			g := gs * got.R.At(i, j)
+			r := rs * ref.R.At(i, j)
+			if !tol.Close(g, r) && math.Abs(g-r) > tol.Rel*scale {
+				return fmt.Errorf("R[%d,%d]: mat.QRCP %.17g, oracle %.17g (rel %.2e)",
+					i, j, g, r, RelDiff(g, r))
+			}
+			res.observe(RelDiffScaled(g, r, scale))
+		}
+	}
+	return nil
+}
+
+// CheckQRSolve compares the production Householder solve against both
+// oracles on n overdetermined full-rank Gaussian systems: the three
+// solutions and their residual norms must pairwise agree within tol.
+func CheckQRSolve(p *Problems, n int, tol Tol) CheckResult {
+	res := CheckResult{Name: "lstsq/householder", Cases: n}
+	for i := 0; i < n; i++ {
+		a := p.Gaussian("qr-solve", i)
+		b := p.Vector("qr-solve", i, a.Rows())
+		got, err := mat.Factorize(a).Solve(b)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: production solve failed: %v", i, err)
+			return res
+		}
+		gs, err := GramSchmidtLeastSquares(a, b)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: Gram–Schmidt oracle failed: %v", i, err)
+			return res
+		}
+		sv, err := SVDLeastSquares(a, b, 0)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: SVD oracle failed: %v", i, err)
+			return res
+		}
+		for _, ref := range []struct {
+			name string
+			x    []float64
+		}{{"Gram–Schmidt", gs}, {"SVD", sv}} {
+			if err := tol.CheckVec("x vs "+ref.name, got, ref.x); err != nil {
+				res.Err = fmt.Errorf("case %d (%dx%d): %w", i, a.Rows(), a.Cols(), err)
+				return res
+			}
+			scale := mat.NormInf(ref.x)
+			for j := range got {
+				res.observe(RelDiffScaled(got[j], ref.x[j], scale))
+			}
+		}
+		// Residual norms must agree too: equal x with unequal residuals
+		// would mean a broken norm kernel rather than a broken solver.
+		rGot := mat.ResidualNorm2(a, got, b)
+		rRef := mat.Norm2(mat.SubVec(mat.MatVec(a, gs), b))
+		if !tol.Close(rGot, rRef) && math.Abs(rGot-rRef) > tol.Rel*mat.Norm2(b) {
+			res.Err = fmt.Errorf("case %d: residual %.17g vs oracle %.17g", i, rGot, rRef)
+			return res
+		}
+		res.observe(RelDiffScaled(rGot, rRef, mat.Norm2(b)))
+	}
+	return res
+}
+
+// CheckLeastSquaresUnderdetermined compares mat.LeastSquares' minimum-norm
+// path (wide systems fall back to the SVD pseudo-inverse) against the
+// eigendecomposition oracle.
+func CheckLeastSquaresUnderdetermined(p *Problems, n int, tol Tol) CheckResult {
+	res := CheckResult{Name: "lstsq/min-norm", Cases: n}
+	for i := 0; i < n; i++ {
+		a := p.Gaussian("lstsq-wide", i).Transpose() // rows < cols
+		b := p.Vector("lstsq-wide", i, a.Rows())
+		got, err := mat.LeastSquares(a, b)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: production solve failed: %v", i, err)
+			return res
+		}
+		ref, err := SVDLeastSquares(a, b, 0)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: SVD oracle failed: %v", i, err)
+			return res
+		}
+		if err := tol.CheckVec("x", got.X, ref); err != nil {
+			res.Err = fmt.Errorf("case %d (%dx%d): %w", i, a.Rows(), a.Cols(), err)
+			return res
+		}
+		scale := mat.NormInf(ref)
+		for j := range got.X {
+			res.observe(RelDiffScaled(got.X[j], ref[j], scale))
+		}
+	}
+	return res
+}
+
+// CheckProjector compares core.Projector (the projection stage's shared
+// factorization) against both least-squares oracles on randomized bases: the
+// basis representation and the relative residual must agree.
+func CheckProjector(p *Problems, n int, tol Tol) CheckResult {
+	res := CheckResult{Name: "projector/oracles", Cases: n}
+	for i := 0; i < n; i++ {
+		e := p.Gaussian("projector", i)
+		points, dim := e.Dims()
+		basis, err := newSyntheticBasis(e)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: %v", i, err)
+			return res
+		}
+		projector, err := core.NewProjector(basis)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d (%dx%d): %v", i, points, dim, err)
+			return res
+		}
+		m := p.Vector("projector", i, points)
+		proj, err := projector.Project(fmt.Sprintf("case-%d", i), m)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: %v", i, err)
+			return res
+		}
+		gs, err := GramSchmidtLeastSquares(e, m)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: Gram–Schmidt oracle failed: %v", i, err)
+			return res
+		}
+		sv, err := SVDLeastSquares(e, m, 0)
+		if err != nil {
+			res.Err = fmt.Errorf("case %d: SVD oracle failed: %v", i, err)
+			return res
+		}
+		for _, ref := range []struct {
+			name string
+			x    []float64
+		}{{"Gram–Schmidt", gs}, {"SVD", sv}} {
+			if err := tol.CheckVec("projection vs "+ref.name, proj.X, ref.x); err != nil {
+				res.Err = fmt.Errorf("case %d (%dx%d basis): %w", i, points, dim, err)
+				return res
+			}
+			scale := mat.NormInf(ref.x)
+			for j := range proj.X {
+				res.observe(RelDiffScaled(proj.X[j], ref.x[j], scale))
+			}
+		}
+		// The reported relative residual must match the oracle's.
+		refRes := mat.Norm2(mat.SubVec(mat.MatVec(e, gs), m))
+		nrm := mat.Norm2(m)
+		refRel := 0.0
+		if nrm > 0 {
+			refRel = refRes / nrm
+		}
+		if !tol.Close(proj.RelResidual, refRel) && math.Abs(proj.RelResidual-refRel) > 1e-9 {
+			res.Err = fmt.Errorf("case %d: RelResidual %.17g, oracle %.17g", i, proj.RelResidual, refRel)
+			return res
+		}
+		res.observe(RelDiff(proj.RelResidual, refRel))
+	}
+	return res
+}
+
+// newSyntheticBasis wraps a random expectation matrix in a core.Basis with
+// generated names.
+func newSyntheticBasis(e *mat.Dense) (*core.Basis, error) {
+	points, dim := e.Dims()
+	names := make([]string, dim)
+	for i := range names {
+		names[i] = fmt.Sprintf("B%d", i)
+	}
+	pointNames := make([]string, points)
+	for i := range pointNames {
+		pointNames[i] = fmt.Sprintf("p%d", i)
+	}
+	return core.NewBasis(names, pointNames, e)
+}

@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/suite"
+)
+
+// fixtures collects each suite benchmark once per test binary.
+var fixtureCache = map[string]*Fixture{}
+
+func fixture(t *testing.T, bench suite.Benchmark) *Fixture {
+	t.Helper()
+	if f, ok := fixtureCache[bench.Name]; ok {
+		return f
+	}
+	f, err := NewFixture(bench)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", bench.Name, err)
+	}
+	fixtureCache[bench.Name] = f
+	return f
+}
+
+func checkMetamorphic(t *testing.T, res CheckResult) {
+	t.Helper()
+	t.Log(res.String())
+	if res.Err != nil {
+		t.Error(res.Err)
+	}
+}
+
+func TestMetamorphicScaling(t *testing.T) {
+	for _, bench := range suite.All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			f := fixture(t, bench)
+			checkMetamorphic(t, CheckScaling(f, []float64{2, 3.5, 0.125, 1e4}, DefaultTol()))
+		})
+	}
+}
+
+func TestMetamorphicPermutation(t *testing.T) {
+	for _, bench := range suite.All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			f := fixture(t, bench)
+			checkMetamorphic(t, CheckPermutation(f, []int64{1, 2, 3}, Tol{Rel: 1e-9, Abs: 1e-12}))
+		})
+	}
+}
+
+func TestMetamorphicJitter(t *testing.T) {
+	for _, bench := range suite.All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			f := fixture(t, bench)
+			res, skipped := CheckJitter(f, []int64{1, 2, 3})
+			if skipped > 0 {
+				t.Logf("%d events inside the guard band were not asserted", skipped)
+			}
+			checkMetamorphic(t, res)
+			// The suite benchmarks keep decades of clearance around tau; if
+			// events start landing in the guard band the check has lost its
+			// teeth and the thresholds deserve a look.
+			if skipped > len(f.Set.Order)/2 {
+				t.Errorf("%d of %d events in the jitter guard band", skipped, len(f.Set.Order))
+			}
+		})
+	}
+}
+
+func TestMetamorphicWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs per config")
+	}
+	for _, bench := range suite.All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			t.Parallel()
+			checkMetamorphic(t, CheckWorkersDeterminism(bench, 5, 2))
+		})
+	}
+}

@@ -9,6 +9,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -49,6 +50,23 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs. Defaults to
 	// slog.Default().
 	Logger *slog.Logger
+}
+
+// Validate rejects configurations withDefaults would silently mangle:
+// negative worker counts are almost always a flag typo, and letting a
+// negative PipelineWorkers through would surface only later as a confusing
+// per-request validation error.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("server: workers must be >= 0 (0 means GOMAXPROCS), got %d", c.Workers)
+	}
+	if c.PipelineWorkers < 0 {
+		return fmt.Errorf("server: pipeline workers must be >= 0 (0 means GOMAXPROCS), got %d", c.PipelineWorkers)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("server: queue depth must be >= 0 (0 means 4x workers), got %d", c.QueueDepth)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -225,6 +243,9 @@ func (s *Server) startJobWorkers(ctx context.Context) {
 // both within cfg.ShutdownTimeout; past the deadline running pipelines are
 // hard-cancelled. Run returns nil on a clean (even if forced) shutdown.
 func (s *Server) Run(ctx context.Context) error {
+	if err := s.cfg.Validate(); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
