@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race verify fuzz cover golden bench clean
+.PHONY: build test race lint verify fuzz cover golden bench clean
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The static gate: the repository's own analyzers (internal/lint) over every
+# package. Zero findings required; vetted exceptions go in lint.allow.
+# See DESIGN.md §10 and TESTING.md.
+lint:
+	$(GO) run ./cmd/lint ./...
+
 # Differential + metamorphic verification against the independent oracles in
-# internal/oracle, plus the golden-snapshot existence check. See TESTING.md.
-verify:
+# internal/oracle, plus the golden-snapshot existence check, preceded by the
+# static gate so local verification matches CI. See TESTING.md.
+verify: lint
 	$(GO) run ./cmd/verify -quick
 
 # Short coverage-guided fuzzing on top of the committed seed corpora under
@@ -41,12 +48,12 @@ golden:
 	$(GO) test ./cmd/... -run Golden -update
 
 # Smoke-run the table/figure/collection/projection benchmarks once each and
-# record the result as BENCH_2.json, so the performance trajectory is
+# record the result as BENCH_4.json, so the performance trajectory is
 # versioned alongside the code. -benchtime=1x keeps this cheap enough for CI;
 # run `go test -bench 'Serial|Parallel' -benchtime=2s .` for real comparisons.
 bench:
 	$(GO) test -run '^$$' -bench 'Table|Figure|Collect|BuildX|NoiseFilter' -benchtime=1x -count=1 . | tee bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_2.json < bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_4.json < bench.out
 	@rm -f bench.out
 
 clean:

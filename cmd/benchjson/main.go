@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime=1x . | go run ./cmd/benchjson -out BENCH_2.json
+//	go test -run '^$' -bench . -benchtime=1x . | go run ./cmd/benchjson -out BENCH_4.json
 //
 // Lines that are not benchmark results (goos/goarch/cpu headers, PASS/ok
 // trailers) feed the environment header or are ignored; malformed benchmark

@@ -1,0 +1,136 @@
+// Command lint runs the repository's own static analyzers — the
+// determinism and numeric-safety gate described in DESIGN.md §10 — over the
+// module, without any dependency outside the standard library.
+//
+// Usage:
+//
+//	lint ./...                     (whole module — what CI runs)
+//	lint internal/core cmd/serve   (specific package directories)
+//	lint -run maporder,floateq ./...
+//	lint -list                     (describe the analyzer set)
+//
+// Findings print as `file:line: analyzer: message` with paths relative to
+// the module root, and any finding makes the command exit 1. Vetted
+// exceptions live in lint.allow at the module root (see TESTING.md); stale
+// allowlist entries are themselves errors, so the file cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/lint"
+)
+
+func main() {
+	cli.Main("lint", run)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	allowFlag := fs.String("allow", "", "allowlist file (default: lint.allow at the module root, if present; 'none' disables)")
+	runFlag := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *runFlag != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*runFlag, ","))
+		if err != nil {
+			return cli.Usagef("-run: %v", err)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := lint.FindRoot(cwd)
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return err
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, pattern := range patterns {
+		switch pattern {
+		case "./...", "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				return err
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			pkg, err := loader.LoadDir(pattern)
+			if err != nil {
+				return err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+
+	rel := func(file string) string {
+		r, err := filepath.Rel(root, file)
+		if err != nil {
+			return file
+		}
+		return filepath.ToSlash(r)
+	}
+
+	allowPath := *allowFlag
+	switch allowPath {
+	case "":
+		p := filepath.Join(root, "lint.allow")
+		if _, err := os.Stat(p); err == nil {
+			allowPath = p
+		}
+	case "none":
+		allowPath = ""
+	}
+	var stale []lint.AllowEntry
+	allowName := ""
+	if allowPath != "" {
+		allow, err := lint.ParseAllowFile(allowPath)
+		if err != nil {
+			return err
+		}
+		allowName = rel(allowPath)
+		diags, stale = allow.Filter(diags, rel)
+	}
+
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+	}
+	for _, e := range stale {
+		fmt.Fprintf(stdout, "%s:%d: stale allowlist entry %s %s:%d matches no finding; delete it\n",
+			allowName, e.SourceLine, e.Analyzer, e.File, e.Line)
+	}
+	if n := len(diags) + len(stale); n > 0 {
+		return fmt.Errorf("%d finding(s)", n)
+	}
+	return nil
+}

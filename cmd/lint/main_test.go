@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/goldie"
+)
+
+// fixtureDirs are the seeded-violation packages, one per analyzer.
+var fixtureDirs = []string{
+	"testdata/src/errsink",
+	"testdata/src/floateq",
+	"testdata/src/internal/core",
+	"testdata/src/maporder",
+}
+
+// runLint runs the command in-process and returns stdout plus the error.
+func runLint(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	if stderr.Len() > 0 {
+		t.Logf("stderr:\n%s", stderr.String())
+	}
+	return stdout.String(), err
+}
+
+func TestGoldenList(t *testing.T) {
+	out, err := runLint(t, "-list")
+	if err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	goldie.Assert(t, "list", []byte(out))
+}
+
+// TestGoldenFixtures seeds one violation per analyzer and snapshots the
+// diagnostics: every analyzer must fire, at the right file and line, with
+// exit status 1.
+func TestGoldenFixtures(t *testing.T) {
+	args := append([]string{"-allow", "none"}, fixtureDirs...)
+	out, err := runLint(t, args...)
+	if err == nil {
+		t.Fatal("fixture run succeeded, want findings")
+	}
+	if code := cli.ExitCode("lint", err, new(bytes.Buffer)); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if want := "4 finding(s)"; err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+	goldie.Assert(t, "fixtures", []byte(out))
+}
+
+// TestGoldenSingleAnalyzer checks -run filtering: only the selected
+// analyzer's finding survives.
+func TestGoldenSingleAnalyzer(t *testing.T) {
+	args := append([]string{"-allow", "none", "-run", "maporder"}, fixtureDirs...)
+	out, err := runLint(t, args...)
+	if err == nil || err.Error() != "1 finding(s)" {
+		t.Fatalf("err = %v, want 1 finding", err)
+	}
+	goldie.Assert(t, "run-maporder", []byte(out))
+}
+
+// TestAllowlistSuppresses runs the fixtures under an allowlist covering all
+// four seeded violations: the run must come back clean.
+func TestAllowlistSuppresses(t *testing.T) {
+	args := append([]string{"-allow", "testdata/allow/fixtures.allow"}, fixtureDirs...)
+	out, err := runLint(t, args...)
+	if err != nil {
+		t.Fatalf("allowlisted run failed: %v\n%s", err, out)
+	}
+	if out != "" {
+		t.Errorf("allowlisted run printed output:\n%s", out)
+	}
+}
+
+// TestGoldenStaleAllow checks that an allowlist entry matching no finding is
+// itself an error — the allowlist cannot outlive the code it excuses.
+func TestGoldenStaleAllow(t *testing.T) {
+	out, err := runLint(t, "-allow", "testdata/allow/stale.allow", "testdata/src/floateq")
+	if err == nil || err.Error() != "1 finding(s)" {
+		t.Fatalf("err = %v, want the stale entry reported as 1 finding", err)
+	}
+	goldie.Assert(t, "stale-allow", []byte(out))
+}
+
+// TestModuleLintsClean is the merge gate in test form: the repository's own
+// tree must produce zero findings.
+func TestModuleLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	out, err := runLint(t, "./...")
+	if err != nil {
+		t.Fatalf("module is not lint-clean: %v\n%s", err, out)
+	}
+}
+
+func TestFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-allow") {
+		t.Error("-h did not print usage")
+	}
+	var ue *cli.UsageError
+	if err := run([]string{"-nope"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+	if err := run([]string{"-run", "nosuch", "testdata/src/floateq"}, &stdout, &stderr); !errors.As(err, &ue) {
+		t.Errorf("unknown analyzer: got %v, want UsageError", err)
+	}
+}

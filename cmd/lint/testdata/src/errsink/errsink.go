@@ -1,0 +1,11 @@
+// Package errsink is a seeded-violation fixture for the errsink analyzer:
+// a statement that calls an error-returning function and drops the result.
+package errsink
+
+import "os"
+
+// Cleanup removes a file and silently discards the error — the kind of sink
+// that turns a failed write into a plausible but wrong result.
+func Cleanup(path string) {
+	os.Remove(path)
+}

@@ -1,0 +1,9 @@
+// Package floateq is a seeded-violation fixture for the floateq analyzer:
+// a raw == between floats outside the approved tolerance helpers.
+package floateq
+
+// Converged compares two residuals for exact equality, hiding the tolerance
+// decision the comparison actually needs.
+func Converged(prev, next float64) bool {
+	return prev == next
+}

@@ -1,0 +1,11 @@
+// Package core is a seeded-violation fixture for the nondetsrc analyzer.
+// Its directory path ends in internal/core, so it falls inside the
+// analyzer's guarded scope, and the wall-clock read below must be flagged.
+package core
+
+import "time"
+
+// Stamp reads the wall clock, which a deterministic core package must not.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

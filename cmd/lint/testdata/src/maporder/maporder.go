@@ -1,0 +1,16 @@
+// Package maporder is a seeded-violation fixture for the maporder analyzer:
+// the loop below renders map entries in iteration order, which Go randomizes.
+package maporder
+
+import (
+	"fmt"
+	"os"
+)
+
+// Dump writes every entry of m to stdout in map-iteration order — the exact
+// bug class that breaks byte-identical reports.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+}

@@ -17,7 +17,11 @@
 // expectation matrix (Eq. 3).
 package branchsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
 
 // PatternKind is a branch-outcome pattern over loop iterations.
 type PatternKind uint8
@@ -83,7 +87,7 @@ type Counts struct {
 // (CE, CR, T, D, M) normalized per loop iteration.
 func (c *Counts) PerIteration() [5]float64 {
 	n := float64(c.Iterations)
-	if n == 0 {
+	if mat.IsZero(n) {
 		return [5]float64{}
 	}
 	return [5]float64{

@@ -1,0 +1,28 @@
+package core
+
+import "math"
+
+// This file holds core's approved floating-point comparison helpers — see
+// internal/mat/compare.go for the rationale. The floateq analyzer in
+// internal/lint allows raw float ==/!= only inside these bodies; everything
+// else in non-test code adopts them.
+
+// ExactEq reports whether a and b are exactly equal as float64 values: the
+// deliberate, auditable form of a float ==. The pipeline uses it where exact
+// agreement is the contract, e.g. QRCP pivot tie-breaking on equal scores.
+func ExactEq(a, b float64) bool { return a == b }
+
+// IsZero reports whether x is exactly zero (of either sign): the guard form
+// used after grid rounding and before divisions, where only exact zero is
+// special.
+func IsZero(x float64) bool { return x == 0 }
+
+// IsIntegral reports whether x is a whole number, NaN and infinities
+// excluded. Report rendering uses it to decide integer formatting, and the
+// reproduction checks use it for the paper's integer-coefficient claims.
+func IsIntegral(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	return x == math.Round(x)
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactEqAndIsZero(t *testing.T) {
+	if !ExactEq(2.25, 2.25) || ExactEq(2.25, 2.250001) {
+		t.Error("ExactEq mismatch")
+	}
+	if !IsZero(math.Copysign(0, -1)) || IsZero(1e-300) {
+		t.Error("IsZero mismatch")
+	}
+}
+
+func TestIsIntegral(t *testing.T) {
+	for _, x := range []float64{0, 1, -3, 1e15, -2.0} {
+		if !IsIntegral(x) {
+			t.Errorf("IsIntegral(%g) = false, want true", x)
+		}
+	}
+	for _, x := range []float64{0.5, -1.25, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if IsIntegral(x) {
+			t.Errorf("IsIntegral(%g) = true, want false", x)
+		}
+	}
+}

@@ -47,7 +47,7 @@ func explainWith(b *Basis, projector *Projector, event string, m []float64, alph
 	e := &Explanation{Event: event, RelResidual: p.RelResidual}
 	for i, c := range p.X {
 		rounded := RoundToGrid(c, alpha)
-		if rounded == 0 {
+		if IsZero(rounded) {
 			continue
 		}
 		e.Terms = append(e.Terms, Term{Event: b.Names[i], Coeff: rounded})

@@ -93,7 +93,7 @@ func (d *MetricDefinition) Rounded(tol float64) *MetricDefinition {
 func (d *MetricDefinition) NonZeroTerms() []Term {
 	var out []Term
 	for _, t := range d.Terms {
-		if t.Coeff != 0 {
+		if !IsZero(t.Coeff) {
 			out = append(out, t)
 		}
 	}
@@ -117,7 +117,7 @@ func (d *MetricDefinition) String() string {
 		if i > 0 && c < 0 {
 			c = -c
 		}
-		if c == 0 {
+		if IsZero(c) {
 			c = 0 // normalize negative zero for display
 		}
 		fmt.Fprintf(&b, "  %s%.6g x %s\n", sep, c, t.Event)

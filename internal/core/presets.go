@@ -74,7 +74,7 @@ func (d *MetricDefinition) ToPreset(roundTol float64) (*Preset, error) {
 		}
 		// Push the operand (scaled if needed).
 		fmt.Fprintf(&b, "N%d|", i)
-		if coeff != 1 {
+		if !ExactEq(coeff, 1) {
 			fmt.Fprintf(&b, "%s|*|", trimFloat(coeff))
 		}
 		// Combine with the running sum.

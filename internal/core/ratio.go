@@ -64,12 +64,12 @@ func (r *RatioMetric) Evaluate(measurements map[string][]float64) ([]float64, er
 		return nil, fmt.Errorf("core: ratio %q has mismatched sides", r.Name)
 	}
 	scale := r.Scale
-	if scale == 0 {
+	if IsZero(scale) {
 		scale = 1
 	}
 	out := make([]float64, len(num))
 	for i := range out {
-		if den[i] == 0 {
+		if IsZero(den[i]) {
 			out[i] = math.NaN()
 			continue
 		}
@@ -81,7 +81,7 @@ func (r *RatioMetric) Evaluate(measurements map[string][]float64) ([]float64, er
 // String renders the ratio definition.
 func (r *RatioMetric) String() string {
 	scale := ""
-	if r.Scale != 0 && r.Scale != 1 {
+	if !IsZero(r.Scale) && !ExactEq(r.Scale, 1) {
 		scale = fmt.Sprintf(" x %g", r.Scale)
 	}
 	return fmt.Sprintf("%s = (%s) / (%s)%s", r.Name,
@@ -102,7 +102,7 @@ func combinationString(d *MetricDefinition) string {
 			s += "-"
 		}
 		c := math.Abs(t.Coeff)
-		if c == 1 {
+		if ExactEq(c, 1) {
 			s += t.Event
 		} else {
 			s += fmt.Sprintf("%g x %s", c, t.Event)

@@ -78,7 +78,7 @@ func FormatAnalysisReport(r *Result, projectionTol float64, metricTable string, 
 
 // trimFloat formats a coefficient compactly (integers without decimals).
 func trimFloat(c float64) string {
-	if c == float64(int64(c)) {
+	if ExactEq(c, float64(int64(c))) {
 		return fmt.Sprintf("%d", int64(c))
 	}
 	return fmt.Sprintf("%g", c)

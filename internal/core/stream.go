@@ -25,7 +25,7 @@ func FilterNoiseStream(source EventSource, tau float64, measure NoiseMeasure) (*
 	scan:
 		for _, v := range vectors {
 			for _, x := range v {
-				if x != 0 {
+				if !IsZero(x) {
 					allZero = false
 					break scan
 				}

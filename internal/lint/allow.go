@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// AllowEntry is one vetted exception: a diagnostic from Analyzer at
+// File:Line that the repository has decided to keep.
+type AllowEntry struct {
+	// Analyzer names the check being excepted.
+	Analyzer string
+	// File is the slash-separated path relative to the module root.
+	File string
+	// Line is the 1-based source line the diagnostic fires on.
+	Line int
+	// Reason is the trailing comment text, if any.
+	Reason string
+	// SourceLine is the 1-based line of the entry inside the allowlist file,
+	// for stale-entry reporting.
+	SourceLine int
+}
+
+// key is the match identity of an entry or diagnostic.
+func (e AllowEntry) key() string { return e.Analyzer + "\x00" + e.File + "\x00" + strconv.Itoa(e.Line) }
+
+// Allowlist is a parsed lint.allow file. Every entry must match at least one
+// diagnostic per run, otherwise it is stale — stale entries are errors, so
+// the allowlist cannot silently outlive the code it excuses.
+type Allowlist struct {
+	// Path is the file the allowlist was parsed from (for error messages).
+	Path string
+	// Entries are the parsed exceptions, in file order.
+	Entries []AllowEntry
+}
+
+// ParseAllowFile reads and parses an allowlist file. Each non-blank,
+// non-comment line has the form
+//
+//	<analyzer> <file>:<line>        # optional reason
+//
+// with <file> slash-separated and relative to the module root. '#' starts a
+// comment anywhere on a line.
+func ParseAllowFile(path string) (*Allowlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseAllow(path, string(data))
+}
+
+// ParseAllow parses allowlist content; path is used only in error messages.
+func ParseAllow(path, content string) (*Allowlist, error) {
+	al := &Allowlist{Path: path}
+	for i, raw := range strings.Split(content, "\n") {
+		line := raw
+		reason := ""
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			reason = strings.TrimSpace(line[idx+1:])
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want `<analyzer> <file>:<line>`, got %q", path, i+1, strings.TrimSpace(raw))
+		}
+		loc := fields[1]
+		colon := strings.LastIndex(loc, ":")
+		if colon <= 0 || colon == len(loc)-1 {
+			return nil, fmt.Errorf("%s:%d: location %q is not <file>:<line>", path, i+1, loc)
+		}
+		lineNo, err := strconv.Atoi(loc[colon+1:])
+		if err != nil || lineNo <= 0 {
+			return nil, fmt.Errorf("%s:%d: bad line number in %q", path, i+1, loc)
+		}
+		file := filepath.ToSlash(loc[:colon])
+		if filepath.IsAbs(file) || strings.HasPrefix(file, "../") {
+			return nil, fmt.Errorf("%s:%d: file %q must be relative to the module root", path, i+1, file)
+		}
+		al.Entries = append(al.Entries, AllowEntry{
+			Analyzer:   fields[0],
+			File:       file,
+			Line:       lineNo,
+			Reason:     reason,
+			SourceLine: i + 1,
+		})
+	}
+	return al, nil
+}
+
+// Filter removes allowed diagnostics and returns the survivors plus the
+// entries that matched nothing (stale). relFile converts a diagnostic's
+// absolute file name into the root-relative slash form the allowlist uses.
+func (al *Allowlist) Filter(diags []Diagnostic, relFile func(string) string) (kept []Diagnostic, stale []AllowEntry) {
+	allowed := make(map[string]AllowEntry, len(al.Entries))
+	used := make(map[string]bool, len(al.Entries))
+	for _, e := range al.Entries {
+		allowed[e.key()] = e
+	}
+	for _, d := range diags {
+		k := AllowEntry{Analyzer: d.Analyzer, File: relFile(d.Pos.Filename), Line: d.Pos.Line}.key()
+		if _, ok := allowed[k]; ok {
+			used[k] = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range al.Entries {
+		if !used[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	content := `# header comment
+
+floateq internal/core/x.go:12   # tolerated residue check
+errsink cmd/serve/main.go:7
+`
+	al, err := ParseAllow("lint.allow", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(al.Entries))
+	}
+	e := al.Entries[0]
+	if e.Analyzer != "floateq" || e.File != "internal/core/x.go" || e.Line != 12 ||
+		e.Reason != "tolerated residue check" || e.SourceLine != 3 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	e = al.Entries[1]
+	if e.Analyzer != "errsink" || e.File != "cmd/serve/main.go" || e.Line != 7 || e.Reason != "" || e.SourceLine != 4 {
+		t.Errorf("entry 1 = %+v", e)
+	}
+}
+
+func TestParseAllowErrors(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"missing location", "floateq\n", "lint.allow:1"},
+		{"too many fields", "floateq a.go:1 extra\n", "lint.allow:1"},
+		{"no line number", "floateq a.go\n", "not <file>:<line>"},
+		{"bad line number", "floateq a.go:zero\n", "bad line number"},
+		{"zero line number", "floateq a.go:0\n", "bad line number"},
+		{"absolute path", "floateq /tmp/a.go:3\n", "relative to the module root"},
+		{"escaping path", "floateq ../a.go:3\n", "relative to the module root"},
+	}
+	for _, tc := range cases {
+		_, err := ParseAllow("lint.allow", tc.content)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestAllowFilterAndStale(t *testing.T) {
+	al, err := ParseAllow("lint.allow", `
+floateq internal/core/x.go:12
+errsink cmd/serve/main.go:7   # never matches -> stale
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "/mod/internal/core/x.go", Line: 12}, Analyzer: "floateq", Message: "a"},
+		{Pos: token.Position{Filename: "/mod/internal/core/x.go", Line: 13}, Analyzer: "floateq", Message: "b"},
+	}
+	rel := func(f string) string { return strings.TrimPrefix(f, "/mod/") }
+	kept, stale := al.Filter(diags, rel)
+	if len(kept) != 1 || kept[0].Pos.Line != 13 {
+		t.Errorf("kept = %v, want only line 13", kept)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "errsink" || stale[0].SourceLine != 3 {
+		t.Errorf("stale = %+v, want the errsink entry from source line 3", stale)
+	}
+}
+
+func TestAllowFilterNoList(t *testing.T) {
+	al := &Allowlist{}
+	diags := []Diagnostic{{Pos: token.Position{Filename: "x.go", Line: 1}, Analyzer: "floateq"}}
+	kept, stale := al.Filter(diags, func(s string) string { return s })
+	if len(kept) != 1 || len(stale) != 0 {
+		t.Errorf("empty allowlist: kept %d stale %d, want 1 and 0", len(kept), len(stale))
+	}
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink flags call statements that silently discard an error result. A
+// swallowed error can turn a failed solve or a short write into a plausible
+// but wrong report, which is worse than a crash for a measurement tool.
+// Exemptions, chosen to keep the signal high:
+//
+//   - the fmt print family — on this repo's cli harness all human output
+//     goes through injected writers whose failure the command cannot
+//     meaningfully recover from mid-report;
+//   - methods on strings.Builder and bytes.Buffer, which are documented
+//     never to fail;
+//   - `defer`/`go` statements and explicit `_ =` discards, which are
+//     visible decisions rather than silent ones.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "flags statements that call an error-returning function and discard the result",
+	Run:  runErrSink,
+}
+
+// fmtPrintFamily is the exempt fmt output surface.
+var fmtPrintFamily = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runErrSink(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok || !returnsError(p.Info, call) {
+				return true
+			}
+			if fn := calleeFunc(p.Info, call); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtPrintFamily[fn.Name()] {
+					return true
+				}
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil && neverFails(recv.Type()) {
+					return true
+				}
+				p.Reportf(call.Lparen, "%s returns an error that is discarded; handle it or assign it to _ explicitly", fn.FullName())
+				return true
+			}
+			p.Reportf(call.Lparen, "call returns an error that is discarded; handle it or assign it to _ explicitly")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether a call yields an error among its results.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// neverFails reports whether recv is one of the write sinks whose methods
+// are documented to always return a nil error.
+func neverFails(recv types.Type) bool {
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

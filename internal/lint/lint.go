@@ -1,0 +1,153 @@
+// Package lint is a dependency-free static-analysis framework for this
+// module, built entirely on the standard library's go/parser, go/ast and
+// go/types (no golang.org/x/tools import — go.mod stays empty). It exists to
+// move the pipeline's determinism and numeric-safety invariants from runtime
+// checks (determinism_test.go, cmd/verify) into a compile-time gate: the
+// runtime checks catch violations only on the inputs we happen to test,
+// while the analyzers here refuse the source constructs that could violate
+// them on any input.
+//
+// The four project-specific analyzers and the invariants they protect:
+//
+//   - maporder: byte-identical reports require no map-iteration order leaking
+//     into output or returned slices.
+//   - floateq: raw ==/!= on floats hides tolerance decisions; all float
+//     comparisons go through the approved helpers in internal/mat and
+//     internal/core.
+//   - nondetsrc: the numeric core (internal/core, internal/mat, internal/par,
+//     internal/report) must not read wall-clock time, unseeded randomness, or
+//     race multiple ready channels.
+//   - errsink: a silently discarded error can hide a short write or a failed
+//     solve, producing a plausible but wrong report.
+//
+// See DESIGN.md §10 for the full rationale and TESTING.md for the allowlist
+// workflow.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and allowlist entries.
+	Name string
+	// Doc is a one-line description shown by `lint -list`.
+	Doc string
+	// Scope, when non-nil, restricts the analyzer to packages for which it
+	// returns true (matched against the package import path). A nil Scope
+	// means every package.
+	Scope func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one typechecked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, in file-name order.
+	Files []*ast.File
+	// Pkg is the typechecked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression types and identifier uses.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the offending construct (full position, including column;
+	// the driver renders file:line).
+	Pos token.Position
+	// Analyzer names the check that fired.
+	Analyzer string
+	// Message explains the finding and the invariant it would break.
+	Message string
+}
+
+// All returns the default analyzer set, sorted by name. The slice is freshly
+// allocated; callers may filter it.
+func All() []*Analyzer {
+	as := []*Analyzer{
+		ErrSink,
+		FloatEq,
+		MapOrder,
+		NonDetSrc,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// ByName returns the named subset of All, erroring on unknown names.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position, then analyzer name, then message — a deterministic
+// order regardless of package or analyzer scheduling.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

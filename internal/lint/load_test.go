@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadAllResolvesModuleImports builds a two-package module where one
+// package imports the other, and checks both load, typecheck and come back
+// in import-path order.
+func TestLoadAllResolvesModuleImports(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"lib/lib.go": "package lib\n\nfunc Answer() int { return 42 }\n",
+		"app/app.go": "package app\n\nimport \"example.com/fixture/lib\"\n\nfunc Run() int { return lib.Answer() }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	if pkgs[0].Path != "example.com/fixture/app" || pkgs[1].Path != "example.com/fixture/lib" {
+		t.Errorf("paths = %s, %s; want app then lib", pkgs[0].Path, pkgs[1].Path)
+	}
+}
+
+func TestLoadAllSkipsTestdataAndHidden(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"p/p.go":                "package p\n",
+		"p/testdata/bad/bad.go": "package bad\n\nfunc Broken() { undefined() }\n",
+		"_wip/w.go":             "package w\n\nfunc Broken() { undefined() }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/fixture/p" {
+		t.Errorf("pkgs = %v, want only p", pkgs)
+	}
+}
+
+func TestLoadDirRejectsExternalDeps(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"p/p.go": "package p\n\nimport _ \"github.com/nope/dep\"\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDir(filepath.Join(root, "p"))
+	if err == nil || !strings.Contains(err.Error(), "external dependency") {
+		t.Errorf("err = %v, want external-dependency rejection", err)
+	}
+}
+
+func TestLoadDirOutsideModule(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": "package p\n"})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadDir(t.TempDir()); err == nil {
+		t.Error("loading a directory outside the module root did not fail")
+	}
+}
+
+func TestFindRoot(t *testing.T) {
+	root := writeModule(t, map[string]string{"a/b/c.go": "package b\n"})
+	got, err := FindRoot(filepath.Join(root, "a", "b"))
+	if err != nil || got != root {
+		t.Errorf("FindRoot = %q, %v; want %q", got, err, root)
+	}
+}
+
+func TestModulePathParse(t *testing.T) {
+	root := writeModule(t, map[string]string{"p/p.go": "package p\n"})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.Module != "example.com/fixture" {
+		t.Errorf("Module = %q", loader.Module)
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder protects the byte-identical-report invariant: Go's map iteration
+// order is deliberately randomized, so a `range` over a map may not feed an
+// io.Writer, fmt output, or a slice the function returns — any of those
+// leaks iteration order into observable results. The sanctioned pattern
+// (collect keys into a local slice, sort, iterate the slice) never trips the
+// analyzer because the map-range body then only appends to a local that is
+// sorted before use.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops whose bodies write output or build returned slices (nondeterministic order)",
+	Run:  runMapOrder,
+}
+
+// writeMethods are method names treated as io writes when called inside a
+// map-range body.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+}
+
+// fmtOutput are fmt functions that render values; feeding them from a
+// map-range body makes the rendered order nondeterministic.
+var fmtOutput = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		eachFunc(f, func(_ *ast.FuncDecl, ftype *ast.FuncType, body *ast.BlockStmt) {
+			returned := returnedIdents(p.Info, ftype, body)
+			inspectShallow(body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				sink, appended := findOrderSink(p.Info, rng.Body, returned)
+				if sink == "" {
+					return true
+				}
+				// Collect-then-sort is the sanctioned pattern: appending map
+				// keys to a slice that the same function later sorts erases
+				// the iteration order before anyone can observe it.
+				if appended != nil && sortedInFunc(p.Info, body, appended) {
+					return true
+				}
+				p.Reportf(rng.For, "iteration over map %s %s; map order is nondeterministic — iterate a sorted key slice instead",
+					types.ExprString(rng.X), sink)
+				return true
+			})
+		})
+	}
+}
+
+// returnedIdents collects the objects a function can return: named results
+// plus identifiers appearing (directly or via &x) in return statements.
+// Appending to one of these inside a map-range makes the returned order
+// nondeterministic.
+func returnedIdents(info *types.Info, ftype *ast.FuncType, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			expr := ast.Unparen(res)
+			if u, ok := expr.(*ast.UnaryExpr); ok {
+				expr = ast.Unparen(u.X)
+			}
+			if id, ok := expr.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// findOrderSink scans a map-range body (including closures, which run per
+// iteration) for the first construct that leaks iteration order. It returns
+// a description (or "") and, for append sinks, the slice object appended to
+// so the caller can check for a later sort.
+func findOrderSink(info *types.Info, body ast.Node, returned map[types.Object]bool) (string, types.Object) {
+	sink := ""
+	var appended types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtOutput[fn.Name()] {
+					sink = "feeds fmt." + fn.Name()
+					return false
+				}
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil && writeMethods[fn.Name()] {
+					sink = "writes via (" + recv.Type().String() + ")." + fn.Name()
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if i >= len(n.Lhs) && len(n.Lhs) != 1 {
+					continue
+				}
+				lhs := n.Lhs[0]
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && returned[obj] {
+						sink = "appends to returned slice " + id.Name
+						appended = obj
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink, appended
+}
+
+// sortedInFunc reports whether the function body passes obj to a sort or
+// slices ordering function anywhere — the signal that a collect-then-sort
+// pattern erases map-iteration order before it escapes.
+func sortedInFunc(info *types.Info, body ast.Node, obj types.Object) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
 )
 
 // Stats is the ground truth a workload simulator reports for one benchmark
@@ -220,15 +222,15 @@ func (p *Platform) MeasureGroup(points []Stats, group []string, groupIndex, rep,
 
 // noisy perturbs an ideal count with the event's noise model.
 func (p *Platform) noisy(ideal float64, def EventDef, name string, group, point, rep, thread int) float64 {
-	if def.RelNoise == 0 && def.AbsNoise == 0 {
+	if mat.IsZero(def.RelNoise) && mat.IsZero(def.AbsNoise) {
 		return ideal
 	}
 	r := newRNG(hashSeed(p.Name, name, uint64(group), uint64(point), uint64(rep), uint64(thread)))
 	v := ideal
-	if def.RelNoise != 0 {
+	if !mat.IsZero(def.RelNoise) {
 		v *= 1 + def.RelNoise*r.norm()
 	}
-	if def.AbsNoise != 0 {
+	if !mat.IsZero(def.AbsNoise) {
 		v += def.AbsNoise * r.norm()
 	}
 	if v < 0 {

@@ -41,7 +41,7 @@ func ResidualNorm2(a *Dense, x, b []float64) float64 {
 	ssq = 1
 	for i := 0; i < a.rows; i++ {
 		d := Dot(a.RawRow(i), x) - b[i]
-		if d == 0 {
+		if IsZero(d) {
 			continue
 		}
 		v := math.Abs(d)
@@ -54,7 +54,7 @@ func ResidualNorm2(a *Dense, x, b []float64) float64 {
 			ssq += r * r
 		}
 	}
-	if scale == 0 {
+	if IsZero(scale) {
 		return 0
 	}
 	return scale * math.Sqrt(ssq)
@@ -123,7 +123,7 @@ func matmulRows(c, a, b *Dense, lo, hi int) {
 			crow := c.data[i*n : (i+1)*n]
 			for k := kb; k < kend; k++ {
 				aik := arow[k]
-				if aik == 0 {
+				if IsZero(aik) {
 					continue
 				}
 				brow := b.data[k*n : (k+1)*n]
@@ -145,7 +145,7 @@ func MatTMul(a, b *Dense) *Dense {
 		arow := a.RawRow(k)
 		brow := b.RawRow(k)
 		for i, av := range arow {
-			if av == 0 {
+			if IsZero(av) {
 				continue
 			}
 			crow := c.RawRow(i)
@@ -162,7 +162,7 @@ func Ger(a *Dense, alpha float64, x, y []float64) {
 	if len(x) != a.rows || len(y) != a.cols {
 		panic(fmt.Sprintf("mat: Ger dimension mismatch %dx%d += %d x %d", a.rows, a.cols, len(x), len(y)))
 	}
-	if alpha == 0 {
+	if IsZero(alpha) {
 		return
 	}
 	for i := 0; i < a.rows; i++ {

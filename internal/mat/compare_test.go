@@ -1,0 +1,42 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactEq(t *testing.T) {
+	if !ExactEq(1.5, 1.5) || ExactEq(1.5, 1.5000001) {
+		t.Error("ExactEq mismatch on plain values")
+	}
+	if !ExactEq(0, math.Copysign(0, -1)) {
+		t.Error("ExactEq must treat +0 and -0 as equal (IEEE ==)")
+	}
+	if ExactEq(math.NaN(), math.NaN()) {
+		t.Error("ExactEq(NaN, NaN) must be false")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(math.Copysign(0, -1)) {
+		t.Error("IsZero must accept zeros of either sign")
+	}
+	if IsZero(math.SmallestNonzeroFloat64) || IsZero(math.NaN()) {
+		t.Error("IsZero must reject nonzero values and NaN")
+	}
+}
+
+func TestEqWithin(t *testing.T) {
+	if !EqWithin(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("EqWithin rejected a value inside the tolerance")
+	}
+	if EqWithin(1.0, 1.1, 1e-9) {
+		t.Error("EqWithin accepted a value outside the tolerance")
+	}
+	if !EqWithin(2.5, 2.5, 0) {
+		t.Error("EqWithin with tol=0 must degrade to exact equality")
+	}
+	if EqWithin(math.NaN(), math.NaN(), 1) {
+		t.Error("EqWithin must never accept NaN")
+	}
+}

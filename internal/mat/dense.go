@@ -229,7 +229,7 @@ func (m *Dense) Equal(n *Dense) bool {
 		return false
 	}
 	for i, v := range m.data {
-		if v != n.data[i] {
+		if !ExactEq(v, n.data[i]) {
 			return false
 		}
 	}

@@ -58,7 +58,7 @@ func LeastSquares(a *Dense, b []float64) (*LSResult, error) {
 // precomputed residual norm. A zero denominator (empty problem) yields 0.
 func BackwardError(a *Dense, x, b []float64, residual float64) float64 {
 	den := SpectralNorm(a)*Norm2(x) + Norm2(b)
-	if den == 0 {
+	if IsZero(den) {
 		return 0
 	}
 	return residual / den
@@ -85,7 +85,7 @@ func SpectralNorm(a *Dense) float64 {
 	for iter := 0; iter < 200; iter++ {
 		w := MatTVec(a, MatVec(a, v))
 		nw := Norm2(w)
-		if nw == 0 {
+		if IsZero(nw) {
 			return 0
 		}
 		for i := range w {

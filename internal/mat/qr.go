@@ -42,7 +42,7 @@ func houseColumn(packed *Dense, row, col int, tau, work []float64) {
 	}
 	alpha := seg[0]
 	norm := Norm2(seg)
-	if norm == 0 {
+	if IsZero(norm) {
 		tau[col] = 0
 		return
 	}
@@ -98,7 +98,7 @@ func (f *QR) QTVec(b []float64) {
 	}
 	for k := 0; k < f.n; k++ {
 		t := f.tau[k]
-		if t == 0 {
+		if IsZero(t) {
 			continue
 		}
 		w := b[k]
@@ -120,7 +120,7 @@ func (f *QR) QVec(b []float64) {
 	}
 	for k := f.n - 1; k >= 0; k-- {
 		t := f.tau[k]
-		if t == 0 {
+		if IsZero(t) {
 			continue
 		}
 		w := b[k]
@@ -184,7 +184,7 @@ func (f *QR) SolveScratch(b, scratch []float64) ([]float64, error) {
 func (f *QR) solveRInPlace(rhs []float64) error {
 	for i := f.n - 1; i >= 0; i-- {
 		d := f.qr.At(i, i)
-		if d == 0 {
+		if IsZero(d) {
 			return fmt.Errorf("mat: singular R at diagonal %d", i)
 		}
 		s := rhs[i]
@@ -212,7 +212,7 @@ func (f *QR) RCond() float64 {
 			max = d
 		}
 	}
-	if max == 0 {
+	if IsZero(max) {
 		return 0
 	}
 	return min / max

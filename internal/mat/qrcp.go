@@ -85,7 +85,7 @@ func partialColNorm(work *Dense, row, col int) float64 {
 	ssq = 1
 	for i := row; i < m; i++ {
 		v := work.At(i, col)
-		if v == 0 {
+		if IsZero(v) {
 			continue
 		}
 		a := math.Abs(v)
@@ -98,7 +98,7 @@ func partialColNorm(work *Dense, row, col int) float64 {
 			ssq += r * r
 		}
 	}
-	if scale == 0 {
+	if IsZero(scale) {
 		return 0
 	}
 	return scale * math.Sqrt(ssq)

@@ -43,7 +43,7 @@ func ComputeSVD(a *Dense) *SVD {
 					beta += uq * uq
 					gamma += up * uq
 				}
-				if gamma == 0 {
+				if IsZero(gamma) {
 					continue
 				}
 				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
@@ -59,7 +59,7 @@ func ComputeSVD(a *Dense) *SVD {
 				rotateCols(v, p, q, c, s)
 			}
 		}
-		if off == 0 {
+		if IsZero(off) {
 			break
 		}
 	}
@@ -105,7 +105,7 @@ func rotateCols(m *Dense, p, q int, c, s float64) {
 // Rank returns the numerical rank: the number of singular values exceeding
 // tol * S[0]. Pass tol <= 0 for a machine-precision default.
 func (d *SVD) Rank(tol float64) int {
-	if len(d.S) == 0 || d.S[0] == 0 {
+	if len(d.S) == 0 || IsZero(d.S[0]) {
 		return 0
 	}
 	if tol <= 0 {
@@ -128,7 +128,7 @@ func (d *SVD) Cond() float64 {
 		return 1
 	}
 	last := d.S[len(d.S)-1]
-	if last == 0 {
+	if IsZero(last) {
 		return math.Inf(1)
 	}
 	return d.S[0] / last

@@ -23,7 +23,7 @@ func Norm2(x []float64) float64 {
 	var scale, ssq float64
 	ssq = 1
 	for _, v := range x {
-		if v == 0 {
+		if IsZero(v) {
 			continue
 		}
 		a := math.Abs(v)
@@ -36,7 +36,7 @@ func Norm2(x []float64) float64 {
 			ssq += r * r
 		}
 	}
-	if scale == 0 {
+	if IsZero(scale) {
 		return 0
 	}
 	return scale * math.Sqrt(ssq)
@@ -54,7 +54,7 @@ func SubNorm2(x, y []float64) float64 {
 	ssq = 1
 	for i, v := range x {
 		d := v - y[i]
-		if d == 0 {
+		if IsZero(d) {
 			continue
 		}
 		a := math.Abs(d)
@@ -67,7 +67,7 @@ func SubNorm2(x, y []float64) float64 {
 			ssq += r * r
 		}
 	}
-	if scale == 0 {
+	if IsZero(scale) {
 		return 0
 	}
 	return scale * math.Sqrt(ssq)
@@ -98,7 +98,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	if alpha == 0 {
+	if IsZero(alpha) {
 		return
 	}
 	for i, v := range x {
@@ -159,7 +159,7 @@ func Mean(x []float64) float64 {
 // AllZero reports whether every element of x is exactly zero.
 func AllZero(x []float64) bool {
 	for _, v := range x {
-		if v != 0 {
+		if !IsZero(v) {
 			return false
 		}
 	}

@@ -45,7 +45,7 @@ func ComputeEigSVD(a *mat.Dense) *EigSVD {
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
 				apq := g.At(p, q)
-				if apq == 0 {
+				if mat.IsZero(apq) {
 					continue
 				}
 				app, aqq := g.At(p, p), g.At(q, q)
@@ -115,7 +115,7 @@ func applyJacobi(g, v *mat.Dense, p, q int, c, s float64) {
 // Rank returns the numerical rank: singular values above tol * S[0], with
 // tol <= 0 defaulting to eigTruncTol.
 func (d *EigSVD) Rank(tol float64) int {
-	if len(d.S) == 0 || d.S[0] == 0 {
+	if len(d.S) == 0 || mat.IsZero(d.S[0]) {
 		return 0
 	}
 	if tol <= 0 {

@@ -107,7 +107,7 @@ func (g *GSQRCP) Residual(a *mat.Dense) float64 {
 	}
 	diff := mat.NewDense(m, n).Sub(permuted, mat.MatMul(g.Q, g.R))
 	na := mat.FrobeniusNorm(a)
-	if na == 0 {
+	if mat.IsZero(na) {
 		return mat.FrobeniusNorm(diff)
 	}
 	return mat.FrobeniusNorm(diff) / na
@@ -129,7 +129,7 @@ func GramSchmidtLeastSquares(a *mat.Dense, b []float64) ([]float64, error) {
 	x := mat.MatTVec(g.Q, b)
 	for i := n - 1; i >= 0; i-- {
 		d := g.R.At(i, i)
-		if d == 0 || math.Abs(d) < 1e-300 {
+		if mat.IsZero(d) || math.Abs(d) < 1e-300 {
 			return nil, fmt.Errorf("oracle: rank-deficient system (R[%d,%d] = %g)", i, i, d)
 		}
 		s := x[i]

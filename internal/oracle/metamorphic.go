@@ -431,7 +431,7 @@ func sortedColumns(m columns, n int) [][]float64 {
 	}
 	sort.Slice(cols, func(i, j int) bool {
 		for k := range cols[i] {
-			if cols[i][k] != cols[j][k] {
+			if !core.ExactEq(cols[i][k], cols[j][k]) {
 				return cols[i][k] < cols[j][k]
 			}
 		}

@@ -24,6 +24,8 @@ package oracle
 import (
 	"fmt"
 	"math"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
 )
 
 // Tol is a comparison tolerance. A pair of values passes if it is within Abs,
@@ -46,7 +48,7 @@ func DefaultTol() Tol { return Tol{Rel: 1e-9, Abs: 1e-12} }
 // the number of representable float64 values strictly between them, plus one
 // if they differ. NaNs and opposite-sign infinities are infinitely far apart.
 func ULPDiff(a, b float64) uint64 {
-	if a == b {
+	if mat.ExactEq(a, b) {
 		return 0 // covers +0 == -0
 	}
 	if math.IsNaN(a) || math.IsNaN(b) {
@@ -74,7 +76,7 @@ func ulpKey(f float64) int64 {
 
 // Close reports whether a and b agree within t.
 func (t Tol) Close(a, b float64) bool {
-	if a == b {
+	if mat.ExactEq(a, b) {
 		return true
 	}
 	if math.IsNaN(a) || math.IsNaN(b) {
@@ -131,11 +133,11 @@ func RelDiff(a, b float64) float64 {
 // the disagreement of two near-zero elements of an O(scale) vector reads as
 // small rather than as O(1).
 func RelDiffScaled(a, b, scale float64) float64 {
-	if a == b {
+	if mat.ExactEq(a, b) {
 		return 0
 	}
 	m := math.Max(math.Max(math.Abs(a), math.Abs(b)), scale)
-	if m == 0 {
+	if mat.IsZero(m) {
 		return 0
 	}
 	return math.Abs(a-b) / m

@@ -275,7 +275,7 @@ func (r *Report) checkMetrics(bench suite.Benchmark, res *core.Result) {
 		allInt := true
 		for _, def := range defs {
 			for _, term := range def.Rounded(bench.Config.RoundTol).Terms {
-				if term.Coeff != math.Round(term.Coeff) {
+				if !core.IsIntegral(term.Coeff) {
 					allInt = false
 				}
 			}
@@ -291,7 +291,7 @@ func (r *Report) checkFigure2(bench suite.Benchmark, res *core.Result) {
 	zero, tail, gapViolations := 0, 0, 0
 	for _, v := range res.Noise.Variabilities {
 		switch {
-		case v.MaxRNMSE == 0:
+		case core.IsZero(v.MaxRNMSE):
 			zero++
 		case v.MaxRNMSE <= bench.Config.Tau:
 			gapViolations++

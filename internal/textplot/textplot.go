@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
 )
 
 // LogScatter renders values (assumed non-negative, typically spanning many
@@ -115,7 +117,7 @@ func Series(title string, combo, signature []float64, labels []string, width, he
 	for i := range combo {
 		maxV = math.Max(maxV, math.Max(combo[i], signature[i]))
 	}
-	if maxV == 0 {
+	if mat.IsZero(maxV) {
 		maxV = 1
 	}
 	cols := len(combo)
