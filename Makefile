@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race lint verify fuzz cover golden bench clean
+.PHONY: build test race lint verify chaos fuzz cover golden bench clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ lint:
 # static gate so local verification matches CI. See TESTING.md.
 verify: lint
 	$(GO) run ./cmd/verify -quick
+
+# Chaos lane: the fault-injection invariants (replay, recovery, degradation —
+# DESIGN.md §11) as oracle checks, then the fault-injection e2e tests at every
+# seam under the race detector. See TESTING.md "Chaos / fault injection".
+chaos:
+	$(GO) run ./cmd/verify -chaos -quick
+	$(GO) test -race -count=1 ./internal/fault/... ./internal/machine/... ./internal/par/... ./internal/server/...
 
 # Short coverage-guided fuzzing on top of the committed seed corpora under
 # testdata/fuzz/. Each target needs its own invocation (go test limitation).

@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jobTimeout := fs.Duration("job-timeout", time.Minute, "per-job pipeline timeout")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
 	maxBody := fs.Int64("max-body", 1<<20, "maximum request body bytes")
+	chaos := fs.String("chaos", "", "deterministic fault-injection spec for daemon seams, e.g. seed=7,http503=0.1,transient=0.2 (empty = off)")
+	jobRetries := fs.Int("job-retries", 0, "re-runs of a transiently faulted async job (0 = the chaos spec's retry budget)")
 	logJSON := fs.Bool("log-json", false, "emit logs as JSON instead of text")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
@@ -70,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		JobTimeout:      *jobTimeout,
 		ShutdownTimeout: *shutdownTimeout,
 		MaxBodyBytes:    *maxBody,
+		Chaos:           *chaos,
+		JobRetries:      *jobRetries,
 	}
 	// Reject flag typos like -workers=-4 before binding a socket, with the
 	// usage exit status rather than a runtime failure.

@@ -10,6 +10,8 @@
 //	verify            (full run: 200 randomized problems per family)
 //	verify -quick     (CI lane: 50 problems per family, fewer seeds)
 //	verify -bench branch -cases 25   (one benchmark, custom case count)
+//	verify -chaos     (fault-injection lane only: replay, recovery,
+//	                   degradation invariants on every benchmark)
 //
 // See TESTING.md for the verification strategy and tolerance rationale.
 package main
@@ -39,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "reduced run for CI: 50 cases per differential family, fewer metamorphic seeds")
+	chaos := fs.Bool("chaos", false, "run only the fault-injection chaos lane (replay/recovery/degradation invariants)")
 	seed := fs.Int64("seed", 1, "base seed for the randomized problem generator")
 	cases := fs.Int("cases", 0, "override randomized cases per differential family")
 	benchFilter := fs.String("bench", "", "only run metamorphic checks for these comma-separated benchmarks (default all)")
@@ -61,6 +64,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var results []oracle.CheckResult
+
+	// Chaos lane: the fault-injection subsystem's replay, recovery and
+	// degradation invariants, end to end on real benchmarks. Runs alone —
+	// its failures mean the resilience layer, not the numerics, broke.
+	if *chaos {
+		if *quick && *benchFilter == "" && len(benches) > 2 {
+			benches = benches[:2]
+		}
+		fmt.Fprintf(stdout, "chaos checks (seed %d, %d benchmarks):\n", *seed, len(benches))
+		res := oracle.CheckChaosSchedule(uint64(*seed))
+		fmt.Fprintln(stdout, res.String())
+		results = append(results, res)
+		for _, bench := range benches {
+			for _, res := range []oracle.CheckResult{
+				oracle.CheckChaosReplay(bench, uint64(*seed)),
+				oracle.CheckChaosRecoverable(bench, uint64(*seed)),
+				oracle.CheckChaosUnrecoverable(bench, uint64(*seed)),
+			} {
+				fmt.Fprintln(stdout, res.String())
+				results = append(results, res)
+			}
+		}
+		return summarize(stdout, results)
+	}
 
 	// Differential lane: production numerics vs the independent oracles.
 	fmt.Fprintf(stdout, "differential checks (seed %d, %d cases per family):\n", *seed, n)
@@ -117,6 +144,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		results = append(results, res)
 	}
 
+	return summarize(stdout, results)
+}
+
+// summarize prints the pass/fail tally and converts failures to an error.
+func summarize(stdout io.Writer, results []oracle.CheckResult) error {
 	failed := 0
 	for _, r := range results {
 		if r.Err != nil {

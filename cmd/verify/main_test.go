@@ -26,6 +26,32 @@ func TestQuickSingleBenchmark(t *testing.T) {
 	}
 }
 
+// TestChaosLane runs the fault-injection lane on one benchmark — the CI
+// chaos job's code path — and pins its replay: two runs of one seed must
+// print byte-identical output.
+func TestChaosLane(t *testing.T) {
+	lane := func() string {
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-chaos", "-quick", "-bench", "branch", "-seed", "7"}, &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("chaos lane failed: %v\noutput:\n%s", err, stdout.String())
+		}
+		return stdout.String()
+	}
+	out := lane()
+	for _, want := range []string{"chaos/schedule", "chaos/replay branch", "chaos/recoverable branch", "chaos/unrecoverable branch", "0 failed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "qrcp/gaussian") {
+		t.Error("-chaos must not run the differential lane")
+	}
+	if again := lane(); again != out {
+		t.Error("chaos lane output differs across runs of the same seed")
+	}
+}
+
 func TestGoldenCheckMissingDir(t *testing.T) {
 	res := checkGoldens(t.TempDir())
 	if res.Err == nil {

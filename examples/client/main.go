@@ -17,6 +17,19 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
+
+	"github.com/perfmetrics/eventlens/internal/fault"
+)
+
+// Retry policy against a daemon running with -chaos: transient 503/504
+// rejections (and transport blips) are retried with the same seeded
+// exponential backoff the daemon itself uses, so a chaos demo's client-side
+// schedule is replayable too.
+const (
+	retryAttempts = 4
+	retryBase     = 100 * time.Millisecond
+	retryMax      = 2 * time.Second
 )
 
 func main() {
@@ -71,7 +84,9 @@ func main() {
 	}
 
 	// 4. And the full preset file, as text.
-	resp, err := http.Get(base + "/v1/presets/" + *bench)
+	resp, err := do(func() (*http.Response, error) {
+		return http.Get(base + "/v1/presets/" + *bench)
+	}, base+"/v1/presets/"+*bench)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,8 +95,34 @@ func main() {
 	fmt.Printf("\npresets for %s:\n%s", *bench, text)
 }
 
+// do issues a request with retries: transport errors and retryable statuses
+// (503 Service Unavailable, 504 Gateway Timeout — what the daemon's chaos
+// middleware injects) back off and try again; anything else returns as-is.
+func do(send func() (*http.Response, error), url string) (*http.Response, error) {
+	seed := fault.SeedFor("client", url)
+	var resp *http.Response
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = send()
+		retryable := err != nil ||
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout
+		if !retryable || attempt >= retryAttempts {
+			return resp, err
+		}
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			log.Printf("%s: %s, retrying (attempt %d)", url, resp.Status, attempt+1)
+		} else {
+			log.Printf("%s: %v, retrying (attempt %d)", url, err, attempt+1)
+		}
+		time.Sleep(fault.BackoffDelay(retryBase, retryMax, seed, attempt))
+	}
+}
+
 func getJSON(url string, dst any) {
-	resp, err := http.Get(url)
+	resp, err := do(func() (*http.Response, error) { return http.Get(url) }, url)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +135,9 @@ func postJSON(url string, body, dst any) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	resp, err := do(func() (*http.Response, error) {
+		return http.Post(url, "application/json", bytes.NewReader(payload))
+	}, url)
 	if err != nil {
 		log.Fatal(err)
 	}

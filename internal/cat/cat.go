@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/fault"
 	"github.com/perfmetrics/eventlens/internal/machine"
 	"github.com/perfmetrics/eventlens/internal/par"
 )
@@ -36,6 +37,13 @@ type RunConfig struct {
 	// coordinates, so any worker count collects byte-identical data —
 	// which is why Workers is excluded from String() and cache keys.
 	Workers int `json:"workers,omitempty"`
+	// Faults optionally enables deterministic fault injection during
+	// collection, as a fault.Spec string ("seed=7,transient=0.05"). Empty
+	// (the default, omitted from JSON) measures cleanly. Unlike Workers,
+	// Faults changes results, so it is part of String() and cache keys —
+	// but only when set, keeping clean-run keys identical to earlier
+	// releases.
+	Faults string `json:"faults,omitempty"`
 }
 
 // DefaultRunConfig matches the paper's setup: 5 repetitions, single thread.
@@ -46,8 +54,17 @@ func DefaultRunConfig() RunConfig {
 // String renders the configuration in a canonical compact form suitable for
 // cache keys: equal configurations always render identically. Workers is
 // excluded: it cannot change results, so it must not split cache entries.
+// A fault spec is included — injection does change results — rendered in
+// the spec's canonical form so equivalent spellings share a cache entry.
 func (c RunConfig) String() string {
-	return fmt.Sprintf("reps=%d,threads=%d", c.Reps, c.Threads)
+	s := fmt.Sprintf("reps=%d,threads=%d", c.Reps, c.Threads)
+	if c.Faults != "" {
+		if spec, err := fault.ParseSpec(c.Faults); err == nil {
+			return s + ",faults=" + spec.String()
+		}
+		return s + ",faults=" + c.Faults
+	}
+	return s
 }
 
 // Validate checks the configuration.
@@ -61,7 +78,27 @@ func (c RunConfig) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("cat: workers must be >= 0 (0 means GOMAXPROCS), got %d", c.Workers)
 	}
+	if c.Faults != "" {
+		if _, err := fault.ParseSpec(c.Faults); err != nil {
+			return fmt.Errorf("cat: bad faults spec: %v", err)
+		}
+	}
 	return nil
+}
+
+// injected resolves the configuration's fault spec onto the platform:
+// platforms pick up an injection plan when the config carries one, and the
+// (already validated) spec parsing cannot fail here. With no spec the
+// platform is returned unchanged.
+func injected(p *machine.Platform, cfg RunConfig) *machine.Platform {
+	if cfg.Faults == "" {
+		return p
+	}
+	plan, err := fault.Parse(cfg.Faults)
+	if err != nil {
+		return p
+	}
+	return p.WithInjector(plan)
 }
 
 // StreamEvents measures a platform's full catalog one multiplexing group at
@@ -77,6 +114,7 @@ func StreamEvents(p *machine.Platform, points []machine.Stats, cfg RunConfig) co
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
+		p := injected(p, cfg)
 		for _, group := range p.Groups(p.Catalog.Names()) {
 			group := group
 			nRT := cfg.Reps * cfg.Threads
@@ -123,22 +161,51 @@ func measureInto(set *core.MeasurementSet, p *machine.Platform, points []machine
 // Measurements are appended to the set in the serial (rep, thread, catalog)
 // order afterwards.
 func measureIntoPoints(set *core.MeasurementSet, p *machine.Platform, pointsFor func(thread int) []machine.Stats, cfg RunConfig) error {
+	p = injected(p, cfg)
 	names := p.Catalog.Names()
 	groups := p.Groups(names)
 	nG := len(groups)
 	tasks := cfg.Reps * cfg.Threads * nG
 	results := make([]map[string][]float64, tasks)
+	faults := make([]*fault.Fault, tasks)
 	err := par.ForErr(cfg.Workers, tasks, func(i int) error {
 		gi := i % nG
 		rt := i / nG
 		thread := rt % cfg.Threads
 		rep := rt / cfg.Threads
 		vectors, err := p.MeasureGroup(pointsFor(thread), groups[gi], gi, rep, thread)
+		if err != nil {
+			// A transient fault surviving the whole retry budget degrades to
+			// partial results: the group's events are dropped rather than the
+			// run failing. Anything else — injected panics included — is a
+			// hard error.
+			if f, ok := fault.As(err); ok && f.Transient() {
+				faults[i] = f
+				return nil
+			}
+			return err
+		}
 		results[i] = vectors
-		return err
+		return nil
 	})
 	if err != nil {
 		return err
+	}
+	// A group that faulted at any (rep, thread) is dropped wholesale: partial
+	// per-rep coverage would silently bias the noise statistics.
+	droppedGroup := make([]bool, nG)
+	for i, f := range faults {
+		if f != nil {
+			droppedGroup[i%nG] = true
+		}
+	}
+	dropped := make(map[string]bool)
+	for gi, group := range groups {
+		if droppedGroup[gi] {
+			for _, name := range group {
+				dropped[name] = true
+			}
+		}
 	}
 	idx := 0
 	for rep := 0; rep < cfg.Reps; rep++ {
@@ -152,11 +219,25 @@ func measureIntoPoints(set *core.MeasurementSet, p *machine.Platform, pointsFor 
 			}
 			// Catalog order keeps downstream tie-breaking deterministic.
 			for _, name := range names {
+				if dropped[name] {
+					continue
+				}
 				err := set.Add(name, core.Measurement{Rep: rep, Thread: thread, Vector: merged[name]})
 				if err != nil {
 					return err
 				}
 			}
+		}
+	}
+	if len(dropped) > 0 {
+		// Catalog order, like everything downstream consumes.
+		for _, name := range names {
+			if dropped[name] {
+				set.Dropped = append(set.Dropped, name)
+			}
+		}
+		if len(set.Dropped) == len(names) {
+			return fmt.Errorf("cat: all %d events dropped by fault injection on %s", len(names), p.Name)
 		}
 	}
 	return nil

@@ -28,6 +28,12 @@ type MeasurementSet struct {
 	// Events maps each event name to its measurements across repetitions
 	// and threads.
 	Events map[string][]Measurement
+	// Dropped lists events (in catalog order) whose measurements were
+	// abandoned after unrecoverable collection faults — a group read that
+	// stayed faulted past the retry budget under fault injection. Dropped
+	// events carry no entries in Order or Events; analysis proceeds without
+	// them and reports them as unmeasured.
+	Dropped []string
 }
 
 // NewMeasurementSet constructs an empty set.

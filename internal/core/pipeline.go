@@ -74,6 +74,9 @@ type Result struct {
 	SelectedEvents []string
 	// Xhat is the basis-dim x rank matrix of selected representations.
 	Xhat *mat.Dense
+	// Unmeasured lists events dropped during collection (unrecoverable
+	// injected faults); empty on clean runs. The analysis ran without them.
+	Unmeasured []string
 }
 
 // Analyze runs noise filtering, projection and the specialized QRCP on a
@@ -114,7 +117,7 @@ func (p *Pipeline) AnalyzeContext(ctx context.Context, set *MeasurementSet) (*Re
 	if qr.Rank == 0 {
 		return nil, fmt.Errorf("core: specialized QRCP selected no events for %s", set.Benchmark)
 	}
-	res := &Result{Noise: noise, Projection: proj, QR: qr}
+	res := &Result{Noise: noise, Projection: proj, QR: qr, Unmeasured: set.Dropped}
 	for _, idx := range qr.Selected() {
 		res.SelectedEvents = append(res.SelectedEvents, proj.Order[idx])
 	}

@@ -68,6 +68,12 @@ func FormatNoiseSummary(r *NoiseReport) string {
 func FormatAnalysisReport(r *Result, projectionTol float64, metricTable string, defs []*MetricDefinition) string {
 	var b strings.Builder
 	b.WriteString(FormatNoiseSummary(r.Noise))
+	if len(r.Unmeasured) > 0 {
+		// Only fault-injected runs produce unmeasured events; clean runs keep
+		// the report byte-identical to earlier releases.
+		fmt.Fprintf(&b, "faults: %d events unmeasured after retries: %s\n",
+			len(r.Unmeasured), strings.Join(r.Unmeasured, ", "))
+	}
 	fmt.Fprintf(&b, "projection: %d events representable, %d dropped (tol %.0e)\n",
 		len(r.Projection.Order), len(r.Projection.Dropped), projectionTol)
 	b.WriteString(FormatSelection(r))

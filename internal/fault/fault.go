@@ -1,0 +1,155 @@
+// Package fault is the deterministic fault-injection subsystem: a seeded,
+// coordinate-addressed plan of failures that the measurement layer, the
+// pipeline and the daemon consult at well-defined injection sites.
+//
+// Determinism is the whole point. A fault is a property of a *coordinate*
+// (which benchmark, which repetition, which thread, which multiplexing
+// group; or which endpoint, which request ordinal) — not of wall-clock time
+// or of the order in which coordinates happen to be visited. Every decision
+// is a pure function of (seed, coordinate, attempt), so a chaos run replays
+// exactly from its seed, a parallel run injects the same faults as a serial
+// one, and a failing coordinate can be reproduced from its error message
+// alone. The package deliberately has no access to time.Now or to any
+// unseeded randomness (the nondetsrc analyzer in internal/lint enforces
+// this).
+//
+// Fault kinds model the failure modes PAPI-style counter collection and a
+// production daemon actually see: transient measurement errors (counter
+// conflicts, scheduling), value corruption (NaN/Inf/outlier readings), slow
+// tasks, worker panics, and transient 5xx/timeouts at the HTTP layer.
+// Transient faults persist for a bounded number of attempts (the plan's
+// depth), which gives the system's retry budget a hard invariant: retries >=
+// depth means every transient fault recovers, and the output is then
+// byte-identical to the fault-free run.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind identifies a fault class.
+type Kind uint8
+
+// The fault kinds, in severity order (the order a plan consults them in).
+const (
+	// None means no fault at the queried coordinate.
+	None Kind = iota
+	// Panic makes the faulted task panic; the worker pool must contain it.
+	Panic
+	// Corrupt replaces measured values with NaN, ±Inf or wild outliers.
+	Corrupt
+	// Transient is a retryable failure (counter conflict, scheduling blip)
+	// that clears after a bounded number of attempts.
+	Transient
+	// Slow delays the task without changing its result.
+	Slow
+	// HTTP503 rejects an HTTP request with 503 Service Unavailable.
+	HTTP503
+	// HTTPTimeout delays an HTTP request and then fails it with 504.
+	HTTPTimeout
+
+	kindCount = int(HTTPTimeout) + 1
+)
+
+// kindNames is indexed by Kind; the names double as spec keys.
+var kindNames = [kindCount]string{"none", "panic", "corrupt", "transient", "slow", "http503", "timeout"}
+
+func (k Kind) String() string {
+	if int(k) < kindCount {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Retryable reports whether a fault of this kind clears on retry: the kinds
+// the plan's persistence depth (and therefore the retry budget) applies to.
+func (k Kind) Retryable() bool {
+	return k == Transient || k == HTTP503 || k == HTTPTimeout
+}
+
+// Site identifies an injection point class; together with the coordinate
+// fields it addresses one injectable operation.
+type Site string
+
+// The injection sites.
+const (
+	// SiteMeasure is one multiplexing-group counter read:
+	// (platform, group, rep, thread).
+	SiteMeasure Site = "measure"
+	// SiteJob is one async job execution: (benchmark, job ordinal).
+	SiteJob Site = "job"
+	// SiteHTTP is one incoming HTTP request: (endpoint, request ordinal).
+	SiteHTTP Site = "http"
+)
+
+// siteKinds lists which kinds a plan considers at each site, in severity
+// order. A rate for a kind outside a site's list never fires there.
+var siteKinds = map[Site][]Kind{
+	SiteMeasure: {Panic, Corrupt, Transient, Slow},
+	SiteJob:     {Panic, Transient, Slow},
+	SiteHTTP:    {HTTPTimeout, HTTP503},
+}
+
+// Coord addresses one injectable operation. Group/Rep/Thread carry the
+// measurement coordinates at SiteMeasure; at SiteJob and SiteHTTP only Rep
+// is used, as the job/request ordinal.
+type Coord struct {
+	Site   Site
+	Name   string // platform, benchmark or "METHOD /path"
+	Group  int
+	Rep    int
+	Thread int
+}
+
+// String renders the coordinate compactly; error messages embed it so any
+// injected fault can be replayed from its report line.
+func (c Coord) String() string {
+	switch c.Site {
+	case SiteJob, SiteHTTP:
+		return fmt.Sprintf("%s(%s,n%d)", c.Site, c.Name, c.Rep)
+	default:
+		return fmt.Sprintf("%s(%s,g%d,r%d,t%d)", c.Site, c.Name, c.Group, c.Rep, c.Thread)
+	}
+}
+
+// Fault is the typed error an injected failure surfaces as.
+type Fault struct {
+	Kind    Kind
+	Coord   Coord
+	Attempt int
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (attempt %d)", f.Kind, f.Coord, f.Attempt)
+}
+
+// Transient reports whether the fault clears on retry.
+func (f *Fault) Transient() bool { return f.Kind.Retryable() }
+
+// As extracts a *Fault from an error chain (including one carried by a
+// recovered panic, via errors.As-compatible wrappers).
+func As(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// IsTransient reports whether err is (or wraps) a retryable injected fault.
+// Non-fault errors are never transient: a real bug must not be retried away.
+func IsTransient(err error) bool {
+	f, ok := As(err)
+	return ok && f.Transient()
+}
+
+// Sleep pauses the calling goroutine; injection sites use it for Slow and
+// HTTPTimeout faults and for retry backoff, keeping time imports out of the
+// instrumented packages. Non-positive durations return immediately.
+func Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MeasureCoords enumerates the measurement coordinate space of one
+// collection run — every (group, rep, thread) counter read on a platform —
+// in the batch collector's task order. Chaos checks use it to render and
+// compare full fault schedules.
+func MeasureCoords(platform string, groups, reps, threads int) []Coord {
+	coords := make([]Coord, 0, groups*reps*threads)
+	for rep := 0; rep < reps; rep++ {
+		for thread := 0; thread < threads; thread++ {
+			for g := 0; g < groups; g++ {
+				coords = append(coords, Coord{
+					Site: SiteMeasure, Name: platform,
+					Group: g, Rep: rep, Thread: thread,
+				})
+			}
+		}
+	}
+	return coords
+}
+
+// DescribeSchedule renders the plan's decisions over a coordinate space for
+// attempts 0..attempts-1: one line per injected fault, in coordinate order,
+// ending with a per-kind tally. The rendering is a pure function of the
+// plan and the coordinates, so two calls — or two processes started from
+// the same seed — produce byte-identical output.
+func (p *Plan) DescribeSchedule(coords []Coord, attempts int) string {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var b strings.Builder
+	counts := p.ScheduleCounts(coords, attempts)
+	for _, c := range coords {
+		for attempt := 0; attempt < attempts; attempt++ {
+			if k := p.At(c, attempt); k != None {
+				fmt.Fprintf(&b, "%s#%d %s\n", c, attempt, k)
+			}
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	fmt.Fprintf(&b, "schedule: %d coords x %d attempts, %d faults", len(coords), attempts, total)
+	for k := 1; k < kindCount; k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(&b, ", %s=%d", Kind(k), counts[k])
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// ScheduleCounts tallies the plan's decisions over a coordinate space,
+// indexed by Kind.
+func (p *Plan) ScheduleCounts(coords []Coord, attempts int) [kindCount]int {
+	var counts [kindCount]int
+	for _, c := range coords {
+		for attempt := 0; attempt < attempts; attempt++ {
+			counts[p.At(c, attempt)]++
+		}
+	}
+	return counts
+}

@@ -23,6 +23,7 @@ var NonDetSrc = &Analyzer{
 // by suffix lets testdata fixture packages mirror a guarded path.
 var nonDetScopes = []string{
 	"internal/core",
+	"internal/fault",
 	"internal/mat",
 	"internal/par",
 	"internal/report",

@@ -16,11 +16,11 @@ package machine
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"github.com/perfmetrics/eventlens/internal/fault"
 	"github.com/perfmetrics/eventlens/internal/mat"
+	"github.com/perfmetrics/eventlens/internal/par"
 )
 
 // Stats is the ground truth a workload simulator reports for one benchmark
@@ -110,6 +110,21 @@ type Platform struct {
 	// use (fixed architectural counters, restricted programmable events).
 	// When set, measurement uses the constraint-aware scheduler.
 	Constraints map[string]CounterConstraint
+	// Inject optionally enables deterministic fault injection on this
+	// platform's counter reads: transient group-read failures (re-measured
+	// up to the plan's retry budget), value corruption, slow reads, and
+	// worker panics. Nil measures cleanly. Faults are keyed by the same
+	// (platform, group, rep, thread) coordinates as the noise model, so a
+	// chaos run replays exactly and is independent of worker count.
+	Inject *fault.Plan
+}
+
+// WithInjector returns a copy of the platform carrying a fault-injection
+// plan, leaving the receiver untouched (platforms may be shared).
+func (p *Platform) WithInjector(inj *fault.Plan) *Platform {
+	q := *p
+	q.Inject = inj
+	return &q
 }
 
 // Groups partitions event names into multiplexing groups, in catalog order.
@@ -161,30 +176,18 @@ func (p *Platform) Groups(names []string) [][]string {
 // because every value's noise seed depends only on its coordinates.
 func (p *Platform) Measure(points []Stats, names []string, rep, thread int) (map[string][]float64, error) {
 	groups := p.Groups(names)
-	type groupResult struct {
-		vectors map[string][]float64
-		err     error
+	results := make([]map[string][]float64, len(groups))
+	err := par.ForErr(0, len(groups), func(gi int) error {
+		vectors, err := p.MeasureGroup(points, groups[gi], gi, rep, thread)
+		results[gi] = vectors
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	results := make([]groupResult, len(groups))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	sem := make(chan struct{}, workers)
-	for gi, group := range groups {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(gi int, group []string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[gi].vectors, results[gi].err = p.MeasureGroup(points, group, gi, rep, thread)
-		}(gi, group)
-	}
-	wg.Wait()
 	out := make(map[string][]float64, len(names))
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		for name, vec := range r.vectors {
+		for name, vec := range r {
 			out[name] = vec
 		}
 	}
@@ -203,7 +206,49 @@ func (p *Platform) MeasureAll(points []Stats, rep, thread int) (map[string][]flo
 // index the group has in Groups' order to reproduce Measure's values exactly.
 // The method reads only immutable platform state and is safe to call
 // concurrently from any number of goroutines.
+//
+// When the platform carries a fault-injection plan, a faulted group read is
+// re-measured up to the plan's retry budget; a fault that persists past the
+// budget surfaces as a *fault.Fault naming the coordinate. Because transient
+// faults recover deterministically (see fault.Plan.At), a budget >= the
+// plan's depth makes the returned vectors identical to a fault-free run.
 func (p *Platform) MeasureGroup(points []Stats, group []string, groupIndex, rep, thread int) (map[string][]float64, error) {
+	if p.Inject == nil {
+		return p.measureGroupOnce(points, group, groupIndex, rep, thread, 0)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= p.Inject.Retries(); attempt++ {
+		vectors, err := p.measureGroupOnce(points, group, groupIndex, rep, thread, attempt)
+		if err == nil {
+			return vectors, nil
+		}
+		lastErr = err
+		if !fault.IsTransient(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// measureGroupOnce performs a single group-read attempt, consulting the
+// platform's fault plan (if any) at the read's coordinate before and during
+// the read.
+func (p *Platform) measureGroupOnce(points []Stats, group []string, groupIndex, rep, thread, attempt int) (map[string][]float64, error) {
+	corrupt := false
+	var coord fault.Coord
+	if p.Inject != nil {
+		coord = fault.Coord{Site: fault.SiteMeasure, Name: p.Name, Group: groupIndex, Rep: rep, Thread: thread}
+		switch kind := p.Inject.At(coord, attempt); kind {
+		case fault.Panic:
+			panic(&fault.Fault{Kind: kind, Coord: coord, Attempt: attempt})
+		case fault.Transient:
+			return nil, &fault.Fault{Kind: kind, Coord: coord, Attempt: attempt}
+		case fault.Slow:
+			fault.Sleep(p.Inject.Delay(coord))
+		case fault.Corrupt:
+			corrupt = true
+		}
+	}
 	vectors := make(map[string][]float64, len(group))
 	for _, name := range group {
 		def, ok := p.Catalog.Lookup(name)
@@ -214,6 +259,9 @@ func (p *Platform) MeasureGroup(points []Stats, group []string, groupIndex, rep,
 		for pi, stats := range points {
 			ideal := def.Respond(stats)
 			vec[pi] = p.noisy(ideal, def, name, groupIndex, pi, rep, thread)
+			if corrupt {
+				vec[pi], _ = p.Inject.CorruptValue(coord, name, pi, vec[pi])
+			}
 		}
 		vectors[name] = vec
 	}

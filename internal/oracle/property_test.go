@@ -1,0 +1,189 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+)
+
+// Property tests for the noise measure (paper Eq. 4) and the noise filter,
+// driven by the oracle's seeded problem generators so every failing case is
+// reproducible from its (stream, index) pair.
+
+const propertyCases = 24
+
+// propertyVectors draws a case's repetition vectors: reps-by-n, strictly
+// positive entries (counter-like), with multiplicative jitter of relative
+// magnitude eps between repetitions.
+func propertyVectors(p *Problems, stream string, i int, eps float64) [][]float64 {
+	r := p.rng(stream, i)
+	reps := 2 + r.Intn(6)
+	n := 3 + r.Intn(10)
+	base := make([]float64, n)
+	for j := range base {
+		base[j] = 50 + 100*math.Abs(r.NormFloat64())
+	}
+	vectors := make([][]float64, reps)
+	for k := range vectors {
+		v := make([]float64, n)
+		for j := range v {
+			v[j] = base[j] * (1 + eps*(2*r.Float64()-1))
+		}
+		vectors[k] = v
+	}
+	return vectors
+}
+
+func TestMaxRNMSEPermutationInvariance(t *testing.T) {
+	// Eq. 4 is a max over unordered repetition pairs, so the order the
+	// repetitions arrive in must not change it. The comparison is to
+	// rounding, not bit-exact: the denominator n·mean_i·mean_j associates
+	// left to right, so a swapped pair can round one ulp differently.
+	p := NewProblems(4099)
+	for i := 0; i < propertyCases; i++ {
+		vectors := propertyVectors(p, "property/perm", i, 0.05)
+		want := core.MaxRNMSE(vectors)
+		r := p.rng("property/perm/shuffle", i)
+		shuffled := append([][]float64{}, vectors...)
+		r.Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+		got := core.MaxRNMSE(shuffled)
+		if RelDiff(got, want) > 1e-14 {
+			t.Fatalf("case %d: permuting repetitions changed max-RNMSE: %.17g vs %.17g", i, got, want)
+		}
+	}
+}
+
+func TestMaxRNMSEZeroOnIdenticalReps(t *testing.T) {
+	// Identical repetitions carry no noise: the measure must be exactly
+	// zero, including for all-zero vectors (where the mean-normalized
+	// denominator degenerates).
+	p := NewProblems(4099)
+	for i := 0; i < propertyCases; i++ {
+		vectors := propertyVectors(p, "property/ident", i, 0)
+		base := vectors[0]
+		for k := range vectors {
+			vectors[k] = base
+		}
+		if got := core.MaxRNMSE(vectors); got != 0 {
+			t.Fatalf("case %d: identical reps scored %.17g, want 0", i, got)
+		}
+	}
+	zeros := [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}
+	if got := core.MaxRNMSE(zeros); got != 0 {
+		t.Fatalf("identical all-zero reps scored %.17g, want 0", got)
+	}
+}
+
+func TestMaxRNMSEScaleBehavior(t *testing.T) {
+	// The measure is relative: scaling every repetition by c > 0 leaves it
+	// unchanged. For power-of-two factors IEEE arithmetic makes that exact;
+	// for general factors it holds to rounding.
+	p := NewProblems(4099)
+	scale := func(vectors [][]float64, c float64) [][]float64 {
+		out := make([][]float64, len(vectors))
+		for k, v := range vectors {
+			w := make([]float64, len(v))
+			for j := range v {
+				w[j] = c * v[j]
+			}
+			out[k] = w
+		}
+		return out
+	}
+	for i := 0; i < propertyCases; i++ {
+		vectors := propertyVectors(p, "property/scale", i, 0.05)
+		want := core.MaxRNMSE(vectors)
+		for _, c := range []float64{0.25, 2, 1024, 1.0 / 1024} {
+			if got := core.MaxRNMSE(scale(vectors, c)); got != want {
+				t.Fatalf("case %d scale %g: %.17g, want exactly %.17g", i, c, got, want)
+			}
+		}
+		for _, c := range []float64{3, 0.7, 1e5} {
+			got := core.MaxRNMSE(scale(vectors, c))
+			if RelDiff(got, want) > 1e-12 {
+				t.Fatalf("case %d scale %g: %.17g, want %.17g within 1e-12", i, c, got, want)
+			}
+		}
+	}
+}
+
+// TestFilterNoiseIdempotent: re-filtering a filtered set's survivors — with
+// their original measurements — must keep every one of them, discard and
+// filter nothing, and reproduce each survivor's averaged vector bit for bit.
+func TestFilterNoiseIdempotent(t *testing.T) {
+	p := NewProblems(5167)
+	const tau = 1e-3
+	for i := 0; i < propertyCases; i++ {
+		r := p.rng("property/idem", i)
+		n := 3 + r.Intn(8)
+		points := make([]string, n)
+		for j := range points {
+			points[j] = string(rune('a' + j))
+		}
+		set := core.NewMeasurementSet("property", "synthetic", points)
+		addEvent := func(name string, eps float64) {
+			vectors := propertyVectors(p, "property/idem/"+name, i, eps)
+			for rep, v := range vectors {
+				if len(v) > n {
+					v = v[:n]
+				}
+				for len(v) < n {
+					v = append(v, v[0])
+				}
+				if err := set.Add(name, core.Measurement{Rep: rep, Thread: 0, Vector: v}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		clean := 1 + r.Intn(4)
+		noisy := 1 + r.Intn(3)
+		for k := 0; k < clean; k++ {
+			addEvent("clean-"+string(rune('0'+k)), tau/1e6)
+		}
+		for k := 0; k < noisy; k++ {
+			addEvent("noisy-"+string(rune('0'+k)), 0.8)
+		}
+		zero := make([]float64, n)
+		for rep := 0; rep < 3; rep++ {
+			if err := set.Add("zero", core.Measurement{Rep: rep, Vector: zero}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		first := core.FilterNoise(set, tau)
+		if len(first.KeptOrder) != clean {
+			t.Fatalf("case %d: kept %d of %d clean events: %v", i, len(first.KeptOrder), clean, first.KeptOrder)
+		}
+		survivors := core.NewMeasurementSet(set.Benchmark, set.Platform, set.PointNames)
+		for _, name := range first.KeptOrder {
+			for _, m := range set.Events[name] {
+				if err := survivors.Add(name, m); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		second := core.FilterNoise(survivors, tau)
+		if len(second.Discarded) != 0 || len(second.Filtered) != 0 {
+			t.Fatalf("case %d: re-filtering survivors rejected events: discarded %v, filtered %v",
+				i, second.Discarded, second.Filtered)
+		}
+		if len(second.KeptOrder) != len(first.KeptOrder) {
+			t.Fatalf("case %d: survivor count changed: %v vs %v", i, second.KeptOrder, first.KeptOrder)
+		}
+		for k, name := range first.KeptOrder {
+			if second.KeptOrder[k] != name {
+				t.Fatalf("case %d: survivor order changed: %v vs %v", i, second.KeptOrder, first.KeptOrder)
+			}
+			a, b := first.Kept[name], second.Kept[name]
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("case %d: averaged vector of %q drifted at %d: %.17g vs %.17g",
+						i, name, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForErrContainsPanics(t *testing.T) {
+	// A panic in the first, middle or last task must surface as a
+	// *PanicError naming that index — never crash the pool — at both the
+	// serial path and a parallel pool.
+	const n = 9
+	for _, workers := range []int{1, 4} {
+		for _, bad := range []int{0, n / 2, n - 1} {
+			var ran int32
+			err := ForErr(workers, n, func(i int) error {
+				atomic.AddInt32(&ran, 1)
+				if i == bad {
+					panic(fmt.Sprintf("task %d exploded", i))
+				}
+				return nil
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("workers=%d bad=%d: got %v, want *PanicError", workers, bad, err)
+			}
+			if pe.Index != bad {
+				t.Fatalf("workers=%d: panic index %d, want %d", workers, pe.Index, bad)
+			}
+			if ran != n {
+				t.Fatalf("workers=%d bad=%d: only %d of %d tasks ran after the panic", workers, bad, ran, n)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("stack not captured")
+			}
+		}
+	}
+}
+
+func TestPanicErrorMessageDeterministic(t *testing.T) {
+	run := func() error {
+		return ForErr(1, 3, func(i int) error {
+			if i == 1 {
+				panic("boom")
+			}
+			return nil
+		})
+	}
+	a, b := run(), run()
+	if a.Error() != b.Error() {
+		t.Fatalf("panic error message varies: %q vs %q", a, b)
+	}
+	if want := "par: task 1 panicked: boom"; a.Error() != want {
+		t.Fatalf("message = %q, want %q", a, want)
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	err := ForErr(2, 4, func(i int) error {
+		if i == 2 {
+			panic(fmt.Errorf("wrapping: %w", sentinel))
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is cannot see through panic containment: %v", err)
+	}
+	// Non-error panic values unwrap to nil.
+	err = ForErr(1, 1, func(int) error { panic(42) })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Unwrap() != nil {
+		t.Fatalf("non-error panic value should unwrap to nil: %v", err)
+	}
+}
+
+func TestForErrLowestIndexWinsAcrossPanicsAndErrors(t *testing.T) {
+	// A panic at index 2 outranks a plain error at index 5.
+	for _, workers := range []int{1, 4} {
+		err := ForErr(workers, 8, func(i int) error {
+			switch i {
+			case 2:
+				panic("early")
+			case 5:
+				return errors.New("late")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 2 {
+			t.Fatalf("workers=%d: got %v, want panic at index 2", workers, err)
+		}
+	}
+}

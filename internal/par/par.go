@@ -9,7 +9,11 @@
 // no matter how many workers ran or how the scheduler interleaved them.
 package par
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
 
 // Workers resolves a workers knob: values <= 0 mean "use GOMAXPROCS", 1 is
 // the serial path, anything larger is an explicit pool size.
@@ -32,10 +36,51 @@ func For(workers, n int, f func(i int)) {
 	})
 }
 
+// PanicError is the error a panicking task is converted into: the pool
+// contains the panic instead of letting one bad task kill the process, and
+// the error names the failing task index so the caller can address it.
+type PanicError struct {
+	// Index is the task index whose body panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time. It is
+	// diagnostic only and deliberately excluded from Error(): stack text
+	// carries goroutine IDs and addresses, and error strings must stay
+	// deterministic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (an injected
+// *fault.Fault, for example), so errors.As sees through the containment.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// call runs one task body with panic containment.
+func call(f func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f(i)
+}
+
 // ForErr is For with a fallible body. Every index runs regardless of other
 // indices' failures (bodies must therefore be safe to run unconditionally);
 // the error for the lowest index is returned, so the reported failure is the
 // same one the serial loop would have hit first had it not stopped early.
+// A panicking body does not kill the pool (or, on the serial path, the
+// caller): the panic is recovered and surfaced as a *PanicError carrying the
+// task index, while the remaining indices still run.
 func ForErr(workers, n int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -47,7 +92,7 @@ func ForErr(workers, n int, f func(i int) error) error {
 	if workers == 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil && first == nil {
+			if err := call(f, i); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -60,7 +105,7 @@ func ForErr(workers, n int, f func(i int) error) error {
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for i := range next {
-				errs[i] = f(i)
+				errs[i] = call(f, i)
 			}
 		}()
 	}

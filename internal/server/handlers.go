@@ -142,6 +142,9 @@ type analyzeResponse struct {
 	Projection     projectionJSON `json:"projection"`
 	SelectedEvents []string       `json:"selected_events"`
 	Metrics        []metricJSON   `json:"metrics"`
+	// Faults lists events dropped during collection under fault injection
+	// (partial-results mode); absent on clean runs.
+	Faults []string `json:"faults,omitempty"`
 	// Report is the batch-tool text report; byte-identical to what
 	// `analyze -bench <name>` prints for the same configuration.
 	Report string `json:"report"`
@@ -177,6 +180,9 @@ func (a *analysis) response() *analyzeResponse {
 		},
 		SelectedEvents: append([]string{}, a.res.SelectedEvents...),
 		Report:         a.report,
+	}
+	if len(a.res.Unmeasured) > 0 {
+		resp.Faults = append([]string{}, a.res.Unmeasured...)
 	}
 	for _, d := range a.defs {
 		resp.Metrics = append(resp.Metrics, toMetricJSON(d))

@@ -23,6 +23,10 @@ const (
 type job struct {
 	id  string
 	req analyzeRequest
+	// seq is the job's creation ordinal — the coordinate axis chaos
+	// injection addresses jobs by, so "the 3rd job" faults identically in
+	// every run of a seed regardless of worker interleaving.
+	seq int
 
 	mu       sync.Mutex
 	status   string
@@ -163,6 +167,7 @@ func (m *jobManager) enqueue(req analyzeRequest) (*job, error) {
 	j := &job{
 		id:      fmt.Sprintf("job-%d", m.nextID),
 		req:     req,
+		seq:     int(m.nextID) - 1,
 		status:  jobQueued,
 		created: time.Now(),
 	}

@@ -15,9 +15,11 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/perfmetrics/eventlens/internal/fault"
 	"github.com/perfmetrics/eventlens/internal/obs"
 )
 
@@ -47,6 +49,20 @@ type Config struct {
 	ShutdownTimeout time.Duration
 	// MaxBodyBytes bounds request bodies. Defaults to 1 MiB.
 	MaxBodyBytes int64
+	// Chaos optionally enables deterministic fault injection at the daemon's
+	// own seams, as a fault.Spec string ("seed=7,http503=0.1,transient=0.2").
+	// HTTP-kind faults fire per (endpoint, request ordinal) on /v1/ routes;
+	// job kinds fire per (benchmark, job ordinal) in the async worker. Empty
+	// disables injection. This knob exercises the daemon's resilience; it is
+	// independent of measurement-layer injection (RunConfig.Faults).
+	Chaos string
+	// JobRetries bounds re-runs of a transiently faulted async job. 0 takes
+	// the chaos spec's retry budget; without a chaos spec there is nothing
+	// to retry.
+	JobRetries int
+	// RetryBase is the base delay of the job retry backoff (exponential,
+	// seeded jitter). Defaults to 10ms.
+	RetryBase time.Duration
 	// Logger receives structured request and lifecycle logs. Defaults to
 	// slog.Default().
 	Logger *slog.Logger
@@ -65,6 +81,14 @@ func (c Config) Validate() error {
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("server: queue depth must be >= 0 (0 means 4x workers), got %d", c.QueueDepth)
+	}
+	if c.JobRetries < 0 {
+		return fmt.Errorf("server: job retries must be >= 0, got %d", c.JobRetries)
+	}
+	if c.Chaos != "" {
+		if _, err := fault.ParseSpec(c.Chaos); err != nil {
+			return fmt.Errorf("server: bad chaos spec: %v", err)
+		}
 	}
 	return nil
 }
@@ -88,6 +112,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -101,6 +128,13 @@ type Server struct {
 	cache *resultCache
 	jobs  *jobManager
 
+	// chaos is the daemon-seam fault plan (nil when Config.Chaos is empty).
+	// HTTP request ordinals — the per-endpoint coordinate axis — live in
+	// httpSeq, guarded by seqMu.
+	chaos   *fault.Plan
+	seqMu   sync.Mutex
+	httpSeq map[string]int
+
 	reg             *obs.Registry
 	requestsTotal   *obs.CounterVec
 	cacheHits       *obs.Counter
@@ -111,6 +145,8 @@ type Server struct {
 	jobsInflight    *obs.Gauge
 	queueDepth      *obs.Gauge
 	jobsTotal       *obs.CounterVec
+	faultsInjected  *obs.CounterVec
+	jobRetries      *obs.Counter
 
 	addrMu    sync.Mutex
 	boundAddr net.Addr
@@ -122,10 +158,18 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		reg:   reg,
-		ready: make(chan struct{}),
+		cfg:     cfg,
+		log:     cfg.Logger,
+		reg:     reg,
+		httpSeq: map[string]int{},
+		ready:   make(chan struct{}),
+	}
+	if cfg.Chaos != "" {
+		// Validate reports a bad spec to the operator; a Server built
+		// without Validate simply runs clean on an unparsable spec.
+		if plan, err := fault.Parse(cfg.Chaos); err == nil {
+			s.chaos = plan
+		}
 	}
 	s.requestsTotal = reg.CounterVec("eventlensd_requests_total",
 		"HTTP requests served, by route pattern and status code.", "route", "code")
@@ -145,6 +189,10 @@ func New(cfg Config) *Server {
 		"Async jobs waiting in the queue.")
 	s.jobsTotal = reg.CounterVec("eventlensd_jobs_total",
 		"Async jobs finished, by terminal status.", "status")
+	s.faultsInjected = reg.CounterVec("eventlensd_faults_injected_total",
+		"Chaos faults injected at daemon seams, by site and kind.", "site", "kind")
+	s.jobRetries = reg.Counter("eventlensd_job_retries_total",
+		"Async job re-runs after transient injected faults.")
 	s.cache = newResultCache(cfg.CacheSize, s.cacheHits, s.cacheMisses)
 	s.jobs = newJobManager(cfg.QueueDepth, cfg.JobTimeout, s.jobsInflight, s.queueDepth, s.jobsTotal)
 	return s
@@ -164,18 +212,58 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	return s.instrument(mux)
+	return s.instrument(s.injectHTTP(mux))
 }
 
-// instrument wraps the mux with request logging, body limits and metrics.
-func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+// injectHTTP is the chaos middleware: on /v1/ routes it consults the fault
+// plan at (endpoint, request ordinal) and may reject the request with 503 or
+// delay it and fail with 504, both with a Retry-After hint. Ordinals count
+// per endpoint, so the nth request to an endpoint sees the same fate in
+// every run of the same seed. Health and metrics endpoints are never
+// injected — operators must be able to watch a chaos run.
+func (s *Server) injectHTTP(next http.Handler) http.Handler {
+	if s.chaos == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		name := r.Method + " " + r.URL.Path
+		s.seqMu.Lock()
+		n := s.httpSeq[name]
+		s.httpSeq[name] = n + 1
+		s.seqMu.Unlock()
+		coord := fault.Coord{Site: fault.SiteHTTP, Name: name, Rep: n}
+		switch kind := s.chaos.At(coord, 0); kind {
+		case fault.HTTP503:
+			s.faultsInjected.With(string(fault.SiteHTTP), kind.String()).Inc()
+			w.Header().Set("Retry-After", "1")
+			f := &fault.Fault{Kind: kind, Coord: coord}
+			writeError(w, http.StatusServiceUnavailable, f.Error())
+		case fault.HTTPTimeout:
+			s.faultsInjected.With(string(fault.SiteHTTP), kind.String()).Inc()
+			fault.Sleep(s.chaos.Delay(coord))
+			w.Header().Set("Retry-After", "1")
+			f := &fault.Fault{Kind: kind, Coord: coord}
+			writeError(w, http.StatusGatewayTimeout, f.Error())
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// instrument wraps the handler chain with request logging, body limits and
+// metrics.
+func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		mux.ServeHTTP(rec, r)
+		next.ServeHTTP(rec, r)
 		elapsed := time.Since(start)
 		route := routePattern(r)
 		s.requestsTotal.With(route, strconv.Itoa(rec.status)).Inc()
@@ -233,9 +321,75 @@ func (s *Server) WaitAddr(ctx context.Context) (net.Addr, error) {
 // handler tests call it directly when exercising the mux without a listener.
 func (s *Server) startJobWorkers(ctx context.Context) {
 	s.jobs.start(ctx, s.cfg.Workers, func(ctx context.Context, j *job) {
-		resp, _, err := s.doAnalyze(ctx, j.req)
+		resp, err := s.runJobResilient(ctx, j)
 		j.finish(resp, err)
 	})
+}
+
+// jobRetryBudget resolves the async retry budget: the explicit JobRetries
+// knob, or the chaos plan's budget when the knob is unset. Without a chaos
+// plan there are no injected faults and nothing to retry.
+func (s *Server) jobRetryBudget() int {
+	if s.cfg.JobRetries > 0 {
+		return s.cfg.JobRetries
+	}
+	if s.chaos != nil {
+		return s.chaos.Retries()
+	}
+	return 0
+}
+
+// runJobResilient executes one async job with per-stage resilience:
+// injected panics are contained into job failures, and transient faults are
+// retried with seeded exponential backoff up to the retry budget. The
+// backoff seed derives from the job ID, so a chaos run's retry schedule
+// replays exactly.
+func (s *Server) runJobResilient(ctx context.Context, j *job) (*analyzeResponse, error) {
+	budget := s.jobRetryBudget()
+	seed := fault.SeedFor("job", j.id)
+	var resp *analyzeResponse
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = s.runJobOnce(ctx, j, attempt)
+		if err == nil || !fault.IsTransient(err) || attempt >= budget || ctx.Err() != nil {
+			return resp, err
+		}
+		s.jobRetries.Inc()
+		s.log.Info("retrying faulted job", "job", j.id, "attempt", attempt, "err", err.Error())
+		fault.Sleep(fault.BackoffDelay(s.cfg.RetryBase, time.Second, seed, attempt))
+	}
+}
+
+// runJobOnce is a single job attempt: chaos consultation at the job seam,
+// then the analysis, with panics contained into errors that preserve the
+// fault coordinate (errors.As sees through the containment).
+func (s *Server) runJobOnce(ctx context.Context, j *job, attempt int) (resp *analyzeResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("server: job %s panicked: %w", j.id, e)
+			} else {
+				err = fmt.Errorf("server: job %s panicked: %v", j.id, r)
+			}
+			resp = nil
+		}
+	}()
+	if s.chaos != nil {
+		coord := fault.Coord{Site: fault.SiteJob, Name: j.req.Benchmark, Rep: j.seq}
+		switch kind := s.chaos.At(coord, attempt); kind {
+		case fault.Panic:
+			s.faultsInjected.With(string(fault.SiteJob), kind.String()).Inc()
+			panic(&fault.Fault{Kind: kind, Coord: coord, Attempt: attempt})
+		case fault.Transient:
+			s.faultsInjected.With(string(fault.SiteJob), kind.String()).Inc()
+			return nil, &fault.Fault{Kind: kind, Coord: coord, Attempt: attempt}
+		case fault.Slow:
+			s.faultsInjected.With(string(fault.SiteJob), kind.String()).Inc()
+			fault.Sleep(s.chaos.Delay(coord))
+		}
+	}
+	resp, _, err = s.doAnalyze(ctx, j.req)
+	return resp, err
 }
 
 // Run listens on cfg.Addr and serves until ctx is cancelled, then shuts
