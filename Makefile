@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race lint verify chaos fuzz cover golden bench clean
+.PHONY: build test race lint verify chaos cluster fuzz cover golden bench clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ verify: lint
 chaos:
 	$(GO) run ./cmd/verify -chaos -quick
 	$(GO) test -race -count=1 ./internal/fault/... ./internal/machine/... ./internal/par/... ./internal/server/...
+
+# Distributed-tier lane: the 3-replica cluster e2e (consistent-hash sharding,
+# kill-a-replica failover, measurement-set batching), the restart-warm
+# persistent-store path, and server-level store corruption — real loopback
+# listeners, all under the race detector. See DESIGN.md §12.
+cluster:
+	$(GO) test -race -count=1 -run 'TestCluster|TestStoreWarmRestart|TestStoreCorruption|TestBatching|TestSyncAdmission' -v ./internal/server/
+	$(GO) test -race -count=1 ./internal/store/... ./internal/shard/...
 
 # Short coverage-guided fuzzing on top of the committed seed corpora under
 # testdata/fuzz/. Each target needs its own invocation (go test limitation).

@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxBody := fs.Int64("max-body", 1<<20, "maximum request body bytes")
 	chaos := fs.String("chaos", "", "deterministic fault-injection spec for daemon seams, e.g. seed=7,http503=0.1,transient=0.2 (empty = off)")
 	jobRetries := fs.Int("job-retries", 0, "re-runs of a transiently faulted async job (0 = the chaos spec's retry budget)")
+	storeDir := fs.String("store-dir", "", "persistent result-store directory; analyses survive restarts (empty = off)")
+	peers := fs.String("peers", "", "comma-separated base URLs of every replica in the serving tier, including this one (empty = single replica)")
+	selfURL := fs.String("self-url", "", "this replica's own base URL as listed in -peers")
+	maxSync := fs.Int("max-sync", 0, "concurrent synchronous analyses admitted before 429 (0 = 4x GOMAXPROCS)")
 	logJSON := fs.Bool("log-json", false, "emit logs as JSON instead of text")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
@@ -74,6 +79,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxBodyBytes:    *maxBody,
 		Chaos:           *chaos,
 		JobRetries:      *jobRetries,
+		StoreDir:        *storeDir,
+		SelfURL:         *selfURL,
+		MaxSyncCompute:  *maxSync,
+	}
+	if *peers != "" {
+		cfg.Peers = strings.Split(*peers, ",")
 	}
 	// Reject flag typos like -workers=-4 before binding a socket, with the
 	// usage exit status rather than a runtime failure.
@@ -88,7 +99,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	logger := slog.New(handler)
 	cfg.Logger = logger
 
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -16,16 +16,18 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/perfmetrics/eventlens/internal/fault"
 )
 
-// Retry policy against a daemon running with -chaos: transient 503/504
-// rejections (and transport blips) are retried with the same seeded
-// exponential backoff the daemon itself uses, so a chaos demo's client-side
-// schedule is replayable too.
+// Retry policy against a daemon running with -chaos or under load:
+// transient 503/504 rejections, 429 admission rejections and transport
+// blips are retried with the same seeded exponential backoff the daemon
+// itself uses, so a chaos demo's client-side schedule is replayable too. A
+// Retry-After hint raises (never lowers) the computed backoff.
 const (
 	retryAttempts = 4
 	retryBase     = 100 * time.Millisecond
@@ -96,8 +98,9 @@ func main() {
 }
 
 // do issues a request with retries: transport errors and retryable statuses
-// (503 Service Unavailable, 504 Gateway Timeout — what the daemon's chaos
-// middleware injects) back off and try again; anything else returns as-is.
+// (503 Service Unavailable and 504 Gateway Timeout from the daemon's chaos
+// middleware, 429 Too Many Requests from its admission control) back off
+// and try again; anything else returns as-is.
 func do(send func() (*http.Response, error), url string) (*http.Response, error) {
 	seed := fault.SeedFor("client", url)
 	var resp *http.Response
@@ -106,19 +109,36 @@ func do(send func() (*http.Response, error), url string) (*http.Response, error)
 		resp, err = send()
 		retryable := err != nil ||
 			resp.StatusCode == http.StatusServiceUnavailable ||
-			resp.StatusCode == http.StatusGatewayTimeout
+			resp.StatusCode == http.StatusGatewayTimeout ||
+			resp.StatusCode == http.StatusTooManyRequests
 		if !retryable || attempt >= retryAttempts {
 			return resp, err
 		}
+		delay := fault.BackoffDelay(retryBase, retryMax, seed, attempt)
 		if err == nil {
+			// An overloaded daemon says how long to stay away; honor the
+			// hint when it exceeds the seeded backoff.
+			if hint := retryAfter(resp); hint > delay {
+				delay = hint
+			}
 			_, _ = io.Copy(io.Discard, resp.Body)
 			_ = resp.Body.Close()
 			log.Printf("%s: %s, retrying (attempt %d)", url, resp.Status, attempt+1)
 		} else {
 			log.Printf("%s: %v, retrying (attempt %d)", url, err, attempt+1)
 		}
-		time.Sleep(fault.BackoffDelay(retryBase, retryMax, seed, attempt))
+		time.Sleep(delay)
 	}
+}
+
+// retryAfter parses a response's Retry-After header (delay-seconds form; the
+// daemon never sends HTTP dates). Absent or malformed hints are zero.
+func retryAfter(resp *http.Response) time.Duration {
+	seconds, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || seconds < 0 {
+		return 0
+	}
+	return time.Duration(seconds) * time.Second
 }
 
 func getJSON(url string, dst any) {

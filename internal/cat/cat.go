@@ -67,6 +67,17 @@ func (c RunConfig) String() string {
 	return s
 }
 
+// MeasurementKey renders the canonical identity of the measurement set a
+// benchmark run produces: the (benchmark, RunConfig) pair that fully
+// determines collection, in the same canonical form String uses. Every
+// analysis configuration sharing this key consumes the same measurement
+// set, so the serving tier batches on it — one collection pass serves many
+// analyses — and Workers stays excluded for the same reason it is excluded
+// from String.
+func (c RunConfig) MeasurementKey(benchmark string) string {
+	return benchmark + "|" + c.String()
+}
+
 // Validate checks the configuration.
 func (c RunConfig) Validate() error {
 	if c.Reps < 1 {

@@ -68,3 +68,26 @@ func TestRunConfigString(t *testing.T) {
 		t.Fatal("distinct configs collide")
 	}
 }
+
+// MeasurementKey is the serving tier's batching key: it must identify the
+// collection inputs (benchmark + RunConfig) and ignore knobs that cannot
+// change measured data (Workers).
+func TestRunConfigMeasurementKey(t *testing.T) {
+	base := RunConfig{Reps: 5, Threads: 4}
+	if got, want := base.MeasurementKey("dcache"), "dcache|reps=5,threads=4"; got != want {
+		t.Fatalf("MeasurementKey = %q, want %q", got, want)
+	}
+	parallel := base
+	parallel.Workers = 8
+	if base.MeasurementKey("dcache") != parallel.MeasurementKey("dcache") {
+		t.Fatal("Workers split the measurement key; byte-identical runs must batch")
+	}
+	if base.MeasurementKey("dcache") == base.MeasurementKey("branch") {
+		t.Fatal("benchmarks collide in the measurement key")
+	}
+	faulted := base
+	faulted.Faults = "seed=7,transient=0.05"
+	if base.MeasurementKey("dcache") == faulted.MeasurementKey("dcache") {
+		t.Fatal("fault injection must split the measurement key; it changes measured data")
+	}
+}

@@ -82,6 +82,11 @@ const (
 	SiteJob Site = "job"
 	// SiteHTTP is one incoming HTTP request: (endpoint, request ordinal).
 	SiteHTTP Site = "http"
+	// SitePeer is one replica-to-replica forward in the sharded serving
+	// tier: (peer base URL, forward ordinal). A Transient fault here models
+	// an unreachable peer — the kill-a-replica scenario — and must make the
+	// forwarder fail over to the next owner; Slow models a laggy peer link.
+	SitePeer Site = "peer"
 )
 
 // siteKinds lists which kinds a plan considers at each site, in severity
@@ -90,11 +95,12 @@ var siteKinds = map[Site][]Kind{
 	SiteMeasure: {Panic, Corrupt, Transient, Slow},
 	SiteJob:     {Panic, Transient, Slow},
 	SiteHTTP:    {HTTPTimeout, HTTP503},
+	SitePeer:    {Transient, Slow},
 }
 
 // Coord addresses one injectable operation. Group/Rep/Thread carry the
-// measurement coordinates at SiteMeasure; at SiteJob and SiteHTTP only Rep
-// is used, as the job/request ordinal.
+// measurement coordinates at SiteMeasure; at SiteJob, SiteHTTP and SitePeer
+// only Rep is used, as the job/request/forward ordinal.
 type Coord struct {
 	Site   Site
 	Name   string // platform, benchmark or "METHOD /path"
@@ -107,7 +113,7 @@ type Coord struct {
 // injected fault can be replayed from its report line.
 func (c Coord) String() string {
 	switch c.Site {
-	case SiteJob, SiteHTTP:
+	case SiteJob, SiteHTTP, SitePeer:
 		return fmt.Sprintf("%s(%s,n%d)", c.Site, c.Name, c.Rep)
 	default:
 		return fmt.Sprintf("%s(%s,g%d,r%d,t%d)", c.Site, c.Name, c.Group, c.Rep, c.Thread)

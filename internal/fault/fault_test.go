@@ -174,6 +174,32 @@ func TestSiteKindGating(t *testing.T) {
 	if k := p.At(Coord{Site: SiteHTTP, Name: "POST /v1/analyze"}, 0); !k.Retryable() {
 		t.Fatalf("want a retryable HTTP kind, got %s", k)
 	}
+	// HTTP kinds never fire at the peer-forwarding seam either.
+	if k := p.At(Coord{Site: SitePeer, Name: "http://peer:1"}, 0); k != None {
+		t.Fatalf("HTTP kind fired at a peer site: %s", k)
+	}
+}
+
+// TestSitePeerKinds covers the replica-forwarding seam: Transient (dead
+// peer) fires at rate 1, clears past its depth like every retryable kind,
+// and renders a compact replayable coordinate.
+func TestSitePeerKinds(t *testing.T) {
+	spec, err := ParseSpec("seed=3,transient=1,depth=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(spec)
+	c := Coord{Site: SitePeer, Name: "http://127.0.0.1:7002", Rep: 4}
+	if k := p.At(c, 0); k != Transient {
+		t.Fatalf("peer fault = %s, want transient", k)
+	}
+	if k := p.At(c, 1); k != None {
+		t.Fatalf("peer fault past depth = %s, want none", k)
+	}
+	f := &Fault{Kind: Transient, Coord: c}
+	if want := "peer(http://127.0.0.1:7002,n4)"; !strings.Contains(f.Error(), want) {
+		t.Fatalf("error %q missing %q", f.Error(), want)
+	}
 }
 
 func TestCorruptValueMutations(t *testing.T) {

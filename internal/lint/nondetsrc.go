@@ -11,7 +11,10 @@ import (
 // guarantee all assume that internal/core, internal/mat, internal/par and
 // internal/report compute from their inputs alone: no wall-clock reads, no
 // global (unseeded) randomness, and no select racing multiple ready
-// channels (the runtime picks among ready cases uniformly at random).
+// channels (the runtime picks among ready cases uniformly at random). The
+// distributed serving tier joins the scope: internal/store entries and
+// internal/shard placement must be pure functions of their keys, or
+// replicas and restarts would disagree about what is cached where.
 var NonDetSrc = &Analyzer{
 	Name:  "nondetsrc",
 	Doc:   "flags time.Now, unseeded math/rand and multi-case select inside the deterministic core packages",
@@ -27,6 +30,8 @@ var nonDetScopes = []string{
 	"internal/mat",
 	"internal/par",
 	"internal/report",
+	"internal/shard",
+	"internal/store",
 }
 
 func nonDetScope(pkgPath string) bool {

@@ -49,6 +49,18 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// GaugeFunc is a gauge whose value is computed at scrape time by a
+// callback. It suits values some other subsystem already owns — the number
+// of entries in the on-disk result store, say — where mirroring every
+// mutation into a Gauge would be a second source of truth. The callback
+// must be safe for concurrent use and cheap enough to run per scrape.
+type GaugeFunc struct {
+	fn func() int64
+}
+
+// Value invokes the callback.
+func (g *GaugeFunc) Value() int64 { return g.fn() }
+
 // Histogram counts observations into cumulative buckets, Prometheus-style.
 type Histogram struct {
 	bounds []float64 // upper bounds, ascending; +Inf is implicit
@@ -127,7 +139,7 @@ func (v *CounterVec) With(values ...string) *Counter {
 type Registry struct {
 	mu      sync.Mutex
 	order   []string
-	metrics map[string]any // *Counter | *Gauge | *Histogram | *CounterVec
+	metrics map[string]any // *Counter | *Gauge | *GaugeFunc | *Histogram | *CounterVec
 	help    map[string]string
 }
 
@@ -157,6 +169,13 @@ func (r *Registry) Counter(name, help string) *Counter {
 // Gauge registers and returns a gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// GaugeFunc registers a callback-backed gauge rendered at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	g := &GaugeFunc{fn: fn}
 	r.register(name, help, g)
 	return g
 }
@@ -204,6 +223,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case *Counter:
 			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, m.Value())
 		case *Gauge:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, m.Value())
+		case *GaugeFunc:
 			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, m.Value())
 		case *Histogram:
 			err = writeHistogram(w, name, help, m)

@@ -27,6 +27,31 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+// TestGaugeFunc pins the callback gauge: the value is read at scrape time
+// from the owning subsystem, renders as a Prometheus gauge, and tracks the
+// source without any mirrored writes.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	var entries int64 = 3
+	g := r.GaugeFunc("store_entries", "entries on disk", func() int64 { return entries })
+	if g.Value() != 3 {
+		t.Fatalf("gauge func = %d", g.Value())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE store_entries gauge\nstore_entries 3\n") {
+		t.Fatalf("render missing gauge:\n%s", b.String())
+	}
+	entries = 9
+	b.Reset()
+	_ = r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "store_entries 9") {
+		t.Fatalf("scrape did not re-read callback:\n%s", b.String())
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})

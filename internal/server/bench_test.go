@@ -17,10 +17,14 @@ import (
 
 func benchServer(b *testing.B, cacheSize int) http.Handler {
 	b.Helper()
-	return New(Config{
+	s, err := New(Config{
 		CacheSize: cacheSize,
 		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
-	}).Handler()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Handler()
 }
 
 func benchPost(b *testing.B, h http.Handler, body string) {

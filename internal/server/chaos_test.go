@@ -19,11 +19,11 @@ func metricsText(t *testing.T, h http.Handler) string {
 	return w.Body.String()
 }
 
-// TestJobQueueFull503 exhausts QueueDepth with no workers draining it: the
-// next enqueue must be rejected with 503 (not block, not drop silently),
-// the rejected job must not be registered, and the request counter must
-// record the rejection.
-func TestJobQueueFull503(t *testing.T) {
+// TestJobQueueFull429 exhausts QueueDepth with no workers draining it: the
+// next enqueue must be rejected by admission control — 429 plus Retry-After
+// (not block, not drop silently) — the rejected job must not be registered,
+// and the rejection must be visible in the request and admission counters.
+func TestJobQueueFull429(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	// Deliberately no startJobWorkers: the queue can only fill.
 	h := s.Handler()
@@ -33,19 +33,25 @@ func TestJobQueueFull503(t *testing.T) {
 		t.Fatalf("first enqueue: %d %s", w.Code, w.Body)
 	}
 	w = postJSON(t, h, "/v1/jobs", `{"benchmark":"branch"}`)
-	msg := decodeEnvelope(t, w, http.StatusServiceUnavailable)
+	msg := decodeEnvelope(t, w, http.StatusTooManyRequests)
 	if !strings.Contains(msg, "queue full") {
 		t.Fatalf("message = %q", msg)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
 	}
 	// The rejected job left no residue: its ID does not resolve.
 	if rec := get(t, h, "/v1/jobs/job-2"); rec.Code != http.StatusNotFound {
 		t.Fatalf("rejected job resolvable: %d %s", rec.Code, rec.Body)
 	}
-	// Observability: the 503 is visible in the request counter, and the
-	// queue gauge reflects the one queued job.
+	// Observability: the 429 is visible in the request and admission
+	// counters, and the queue gauge reflects the one queued job.
 	text := metricsText(t, h)
-	if !strings.Contains(text, `eventlensd_requests_total{route="/v1/jobs",code="503"} 1`) {
-		t.Fatalf("503 not counted:\n%s", grepLines(text, "requests_total"))
+	if !strings.Contains(text, `eventlensd_requests_total{route="/v1/jobs",code="429"} 1`) {
+		t.Fatalf("429 not counted:\n%s", grepLines(text, "requests_total"))
+	}
+	if !strings.Contains(text, `eventlensd_admission_rejected_total{site="jobs"} 1`) {
+		t.Fatalf("admission rejection not counted:\n%s", grepLines(text, "admission"))
 	}
 	if !strings.Contains(text, "eventlensd_jobs_queue_depth 1") {
 		t.Fatalf("queue depth gauge wrong:\n%s", grepLines(text, "queue_depth"))

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/perfmetrics/eventlens/internal/cat"
@@ -26,11 +28,28 @@ type httpError struct {
 
 func (e httpError) Error() string { return e.msg }
 
+// overloadError is an admission-control rejection: the request was refused
+// because the daemon is at its synchronous-compute or job-queue bound. It
+// maps to 429 Too Many Requests with a Retry-After hint so well-behaved
+// clients back off instead of piling on.
+type overloadError struct {
+	msg string
+}
+
+func (e overloadError) Error() string { return e.msg }
+
+// retryAfterHint is the Retry-After value (seconds) on 429 responses.
+const retryAfterHint = "1"
+
 // errStatus maps an error to an HTTP status code.
 func errStatus(err error) int {
 	var he httpError
 	if errors.As(err, &he) {
 		return he.code
+	}
+	var oe overloadError
+	if errors.As(err, &oe) {
+		return http.StatusTooManyRequests
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return http.StatusServiceUnavailable
@@ -54,15 +73,33 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
+	var oe overloadError
+	if errors.As(err, &oe) {
+		w.Header().Set("Retry-After", retryAfterHint)
+	}
 	writeError(w, errStatus(err), err.Error())
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
+// canonicalJSON renders v exactly as writeJSON serves it: two-space indent,
+// trailing newline. The persistent result store holds these bytes verbatim,
+// which is what makes disk-served responses byte-identical to computed ones.
+func canonicalJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	return buf.Bytes()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	writeBody(w, code, canonicalJSON(v))
+}
+
+// writeBody serves pre-rendered canonical JSON bytes.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
 }
 
 // decodeJSON strictly decodes a single JSON object from the request body.
@@ -150,11 +187,25 @@ type analyzeResponse struct {
 	Report string `json:"report"`
 }
 
-// analysis is the cached product of one pipeline execution.
+// analysis is the cached product of one analysis key. A freshly computed
+// entry is full: it carries the pipeline internals (res, set, defs) that
+// define/explain/presets need. An entry warmed from the persistent store is
+// a stub — only respJSON, the canonical analyze response, is known — and is
+// upgraded lazily (ensureFull) the first time an endpoint needs internals.
+// respJSON is always set and is what /v1/analyze serves, so disk-warmed and
+// computed entries are byte-identical on the wire.
 type analysis struct {
-	bench  suite.Benchmark
-	run    cat.RunConfig
-	cfg    core.Config
+	bench suite.Benchmark
+	run   cat.RunConfig
+	cfg   core.Config
+
+	// respJSON is the canonical /v1/analyze response body.
+	respJSON []byte
+
+	// mu guards the lazily upgraded fields below; full reports whether they
+	// are populated.
+	mu     sync.Mutex
+	full   bool
 	res    *core.Result
 	set    *core.MeasurementSet
 	defs   []*core.MetricDefinition
@@ -231,47 +282,172 @@ func (s *Server) resolve(req analyzeRequest) (suite.Benchmark, cat.RunConfig, co
 	return bench, run, cfg, nil
 }
 
-// doAnalyze runs (or fetches from cache) the full analysis for a request.
-func (s *Server) doAnalyze(ctx context.Context, req analyzeRequest) (*analyzeResponse, bool, error) {
-	a, hit, err := s.analysisFor(ctx, req)
-	if err != nil {
-		return nil, false, err
-	}
-	return a.response(), hit, nil
+// analysisKey is the canonical cache/store/shard key of one analysis: the
+// canonical rendering of (benchmark, RunConfig, Config). The pipeline is
+// deterministic, so equal keys mean equal results — everywhere: in memory,
+// on disk, and on whichever replica the key hashes to.
+func analysisKey(bench suite.Benchmark, run cat.RunConfig, cfg core.Config) string {
+	return fmt.Sprintf("%s|%s|%s", bench.Name, run, cfg)
 }
 
-// analysisFor returns the cached analysis for a request, running the
-// pipeline on a miss. The cache key is the canonical rendering of
-// (benchmark, RunConfig, Config); the pipeline is deterministic, so equal
-// keys mean equal results.
-func (s *Server) analysisFor(ctx context.Context, req analyzeRequest) (*analysis, bool, error) {
-	bench, run, cfg, err := s.resolve(req)
+// Cache sources reported in the X-Eventlens-Cache header.
+const (
+	srcHit  = "hit"  // served from the in-memory cache (or joined a flight)
+	srcDisk = "disk" // warmed from the persistent store, zero recomputation
+	srcMiss = "miss" // computed now
+)
+
+// doAnalyze runs (or fetches) the analysis for a request; used by the async
+// job path, which is already admitted by the bounded worker pool.
+func (s *Server) doAnalyze(ctx context.Context, req analyzeRequest) (*analyzeResponse, bool, error) {
+	a, src, err := s.analysisFor(ctx, req, false)
 	if err != nil {
 		return nil, false, err
 	}
-	key := fmt.Sprintf("%s|%s|%s", bench.Name, run, cfg)
-	return s.cache.do(ctx, key, func() (*analysis, error) {
-		start := time.Now()
-		res, set, err := bench.AnalyzeContext(ctx, run, cfg)
+	resp, err := a.toResponse()
+	if err != nil {
+		return nil, false, err
+	}
+	return resp, src != srcMiss, nil
+}
+
+// analysisFor returns the cached analysis for a request. On a memory miss
+// it consults the persistent store (a verified entry becomes a stub — no
+// recomputation), and only then computes, publishing the result back to the
+// store. gated requests pass admission control before computing; job
+// workers are bounded already and pass gated=false.
+func (s *Server) analysisFor(ctx context.Context, req analyzeRequest, gated bool) (*analysis, string, error) {
+	bench, run, cfg, err := s.resolve(req)
+	if err != nil {
+		return nil, "", err
+	}
+	key := analysisKey(bench, run, cfg)
+	src := srcHit // stays "hit" when the cache or a joined flight serves it
+	a, _, err := s.cache.do(ctx, key, func() (*analysis, error) {
+		if payload, ok := s.storeGet(key); ok {
+			src = srcDisk
+			return &analysis{bench: bench, run: run, cfg: cfg, respJSON: payload}, nil
+		}
+		src = srcMiss
+		a, err := s.compute(ctx, bench, run, cfg, gated)
 		if err != nil {
 			return nil, err
 		}
-		defs, err := res.DefineMetrics(bench.Signatures)
-		if err != nil {
-			return nil, err
-		}
-		s.pipelineRuns.Inc()
-		s.pipelineSeconds.Observe(time.Since(start).Seconds())
-		return &analysis{
-			bench:  bench,
-			run:    run,
-			cfg:    cfg,
-			res:    res,
-			set:    set,
-			defs:   defs,
-			report: core.FormatAnalysisReport(res, cfg.ProjectionTol, bench.MetricTable, defs),
-		}, nil
+		s.storePut(key, a.respJSON)
+		return a, nil
 	})
+	if err != nil {
+		return nil, src, err
+	}
+	return a, src, nil
+}
+
+// compute runs the pipeline for one analysis key: collection via the
+// batching measurement-set cache, then the analysis stages over the shared
+// (immutable) set. gated computations are subject to admission control.
+func (s *Server) compute(ctx context.Context, bench suite.Benchmark, run cat.RunConfig, cfg core.Config, gated bool) (*analysis, error) {
+	if gated {
+		release, err := s.admitSync()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+	start := time.Now()
+	set, err := s.measurementSet(ctx, bench, run)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bench.AnalyzeSet(ctx, set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defs, err := res.DefineMetrics(bench.Signatures)
+	if err != nil {
+		return nil, err
+	}
+	s.pipelineRuns.Inc()
+	s.pipelineSeconds.Observe(time.Since(start).Seconds())
+	a := &analysis{
+		bench:  bench,
+		run:    run,
+		cfg:    cfg,
+		full:   true,
+		res:    res,
+		set:    set,
+		defs:   defs,
+		report: core.FormatAnalysisReport(res, cfg.ProjectionTol, bench.MetricTable, defs),
+	}
+	a.respJSON = canonicalJSON(a.response())
+	return a, nil
+}
+
+// ensureFull upgrades a disk-warmed stub to a full analysis by recomputing
+// the pipeline internals (deterministic, so they match the stored response).
+// Concurrent upgraders of one entry serialize on the entry's mutex.
+func (s *Server) ensureFull(ctx context.Context, a *analysis, gated bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.full {
+		return nil
+	}
+	full, err := s.compute(ctx, a.bench, a.run, a.cfg, gated)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(full.respJSON, a.respJSON) {
+		// Determinism violation or a stale store from an incompatible
+		// release: keep serving the stored bytes for /v1/analyze (the
+		// contract) but flag it loudly.
+		s.log.Warn("recomputed analysis differs from stored response",
+			"benchmark", a.bench.Name, "run", a.run.String(), "config", a.cfg.String())
+	}
+	a.res, a.set, a.defs, a.report = full.res, full.set, full.defs, full.report
+	a.full = true
+	return nil
+}
+
+// fullAnalysisFor is analysisFor plus the stub upgrade: endpoints that need
+// pipeline internals (define, explain, presets) go through here.
+func (s *Server) fullAnalysisFor(ctx context.Context, req analyzeRequest) (*analysis, error) {
+	a, _, err := s.analysisFor(ctx, req, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ensureFull(ctx, a, true); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// toResponse decodes the analysis into the response DTO: directly for full
+// entries, from the stored canonical bytes for stubs.
+func (a *analysis) toResponse() (*analyzeResponse, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.full {
+		return a.response(), nil
+	}
+	var resp analyzeResponse
+	if err := json.Unmarshal(a.respJSON, &resp); err != nil {
+		return nil, fmt.Errorf("server: stored analysis for %s undecodable: %w", a.bench.Name, err)
+	}
+	return &resp, nil
+}
+
+// admitSync is admission control for synchronous computations: a
+// non-blocking semaphore acquire. At the bound the request is rejected
+// immediately with an overloadError (429) rather than queued — overload
+// degrades to fast rejections the client can back off from.
+func (s *Server) admitSync() (func(), error) {
+	select {
+	case s.syncSem <- struct{}{}:
+		return func() { <-s.syncSem }, nil
+	default:
+		s.admissionRejch.With("sync").Inc()
+		return nil, overloadError{fmt.Sprintf(
+			"server overloaded: %d synchronous analyses already in flight", cap(s.syncSem))}
+	}
 }
 
 // ---- Handlers ---------------------------------------------------------
@@ -291,20 +467,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	resp, hit, err := s.doAnalyze(r.Context(), req)
+	// In a sharded tier, requests arriving from clients are routed to the
+	// key's owner; requests already forwarded by a peer (marker header) are
+	// always served locally, so forwarding cannot loop.
+	if s.ring != nil && r.Header.Get(peerHeader) == "" {
+		if s.maybeForward(w, r, req) {
+			return
+		}
+	}
+	a, src, err := s.analysisFor(r.Context(), req, true)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	w.Header().Set("X-Eventlens-Cache", cacheHeader(hit))
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func cacheHeader(hit bool) string {
-	if hit {
-		return "hit"
-	}
-	return "miss"
+	w.Header().Set("X-Eventlens-Cache", src)
+	writeBody(w, http.StatusOK, a.respJSON)
 }
 
 // defineRequest solves one signature — either a named one from the
@@ -349,7 +526,7 @@ func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "exactly one of \"metric\" (a name from the benchmark's table) or \"signature\" must be set")
 		return
 	}
-	a, _, err := s.analysisFor(r.Context(), analyzeRequest{Benchmark: req.Benchmark, Run: req.Run, Config: req.Config})
+	a, err := s.fullAnalysisFor(r.Context(), analyzeRequest{Benchmark: req.Benchmark, Run: req.Run, Config: req.Config})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -439,7 +616,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	a, _, err := s.analysisFor(r.Context(), analyzeRequest{Benchmark: req.Benchmark, Run: req.Run, Config: req.Config})
+	a, err := s.fullAnalysisFor(r.Context(), analyzeRequest{Benchmark: req.Benchmark, Run: req.Run, Config: req.Config})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -481,7 +658,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("benchmark")
-	a, _, err := s.analysisFor(r.Context(), analyzeRequest{Benchmark: name})
+	a, err := s.fullAnalysisFor(r.Context(), analyzeRequest{Benchmark: name})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -569,7 +746,11 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.jobs.enqueue(req)
 	if errors.Is(err, errQueueFull) {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		// Admission control: a full queue is overload, and the client should
+		// back off and retry rather than treat the daemon as down.
+		s.admissionRejch.With("jobs").Inc()
+		w.Header().Set("Retry-After", retryAfterHint)
+		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
 	if err != nil {

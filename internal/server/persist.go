@@ -1,0 +1,43 @@
+package server
+
+import (
+	"errors"
+
+	"github.com/perfmetrics/eventlens/internal/store"
+)
+
+// storeGet consults the persistent result store for a key's canonical
+// response bytes. A verified entry is a hit; a missing entry a miss; a
+// corrupt or truncated entry is counted separately and degrades to a miss —
+// the result is recomputed and rewritten, never served or crashed on.
+func (s *Server) storeGet(key string) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	payload, err := s.store.Get(key)
+	switch {
+	case err == nil:
+		s.storeHits.Inc()
+		return payload, true
+	case errors.Is(err, store.ErrCorrupt):
+		s.storeCorrupt.Inc()
+		s.log.Warn("corrupt store entry; recomputing", "key", key, "err", err.Error())
+	default:
+		s.storeMisses.Inc()
+	}
+	return nil, false
+}
+
+// storePut publishes a computed response to the persistent store. Failures
+// are logged, not fatal: persistence is an optimization, and the response
+// has already been computed for the caller.
+func (s *Server) storePut(key string, payload []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(key, payload); err != nil {
+		s.log.Warn("store write failed", "key", key, "err", err.Error())
+		return
+	}
+	s.storeWrites.Inc()
+}

@@ -21,6 +21,8 @@ import (
 
 	"github.com/perfmetrics/eventlens/internal/fault"
 	"github.com/perfmetrics/eventlens/internal/obs"
+	"github.com/perfmetrics/eventlens/internal/shard"
+	"github.com/perfmetrics/eventlens/internal/store"
 )
 
 // Config holds the daemon configuration.
@@ -38,7 +40,7 @@ type Config struct {
 	// keys.
 	PipelineWorkers int
 	// QueueDepth bounds the async job queue; a full queue rejects new jobs
-	// with 503. Defaults to 4x Workers.
+	// with 429 and a Retry-After hint. Defaults to 4x Workers.
 	QueueDepth int
 	// CacheSize bounds the LRU result cache (entries). Defaults to 64.
 	CacheSize int
@@ -63,6 +65,38 @@ type Config struct {
 	// RetryBase is the base delay of the job retry backoff (exponential,
 	// seeded jitter). Defaults to 10ms.
 	RetryBase time.Duration
+	// StoreDir enables the persistent, content-addressed result store: every
+	// computed analysis response is published there (atomic write-rename,
+	// checksummed), and cache misses consult it before recomputing, so the
+	// cache warms from disk across restarts. A corrupt or truncated entry is
+	// a miss, never a failure. Empty disables persistence.
+	StoreDir string
+	// Peers lists the base URLs ("http://host:port") of every replica in the
+	// serving tier, including this one. With two or more distinct peers,
+	// analysis keys are partitioned across replicas by consistent hashing and
+	// /v1/analyze requests are forwarded to their owner, failing over in ring
+	// order when owners are unreachable. Empty (or just this replica) serves
+	// everything locally.
+	Peers []string
+	// SelfURL is this replica's own entry in Peers; required when Peers is
+	// set, so the replica can recognize keys it owns.
+	SelfURL string
+	// SetCacheSize bounds the in-memory measurement-set cache (entries) that
+	// batches analyses sharing a (benchmark, RunConfig) collection: one
+	// collection pass serves every analysis configuration over the same
+	// measurement set. Defaults to 8.
+	SetCacheSize int
+	// MaxSyncCompute bounds concurrently executing synchronous pipeline
+	// computations. Requests that would exceed it are rejected with
+	// 429 Too Many Requests and a Retry-After hint — admission control, so
+	// overload degrades to fast rejections instead of unbounded queueing.
+	// Cache hits, disk hits and requests joining an in-flight identical
+	// computation are never rejected. Defaults to 4x GOMAXPROCS.
+	MaxSyncCompute int
+	// Listener optionally provides a pre-bound listener for Run, overriding
+	// Addr. Cluster tests and embedders use it to know every replica's
+	// address before any replica starts.
+	Listener net.Listener
 	// Logger receives structured request and lifecycle logs. Defaults to
 	// slog.Default().
 	Logger *slog.Logger
@@ -90,6 +124,27 @@ func (c Config) Validate() error {
 			return fmt.Errorf("server: bad chaos spec: %v", err)
 		}
 	}
+	if c.SetCacheSize < 0 {
+		return fmt.Errorf("server: set cache size must be >= 0 (0 means 8), got %d", c.SetCacheSize)
+	}
+	if c.MaxSyncCompute < 0 {
+		return fmt.Errorf("server: max sync compute must be >= 0 (0 means 4x GOMAXPROCS), got %d", c.MaxSyncCompute)
+	}
+	if len(c.Peers) > 0 {
+		if c.SelfURL == "" {
+			return fmt.Errorf("server: peers set but self URL empty; a replica must know its own entry")
+		}
+		found := false
+		for _, p := range c.Peers {
+			if p == c.SelfURL {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("server: self URL %q not among peers %v", c.SelfURL, c.Peers)
+		}
+	}
 	return nil
 }
 
@@ -115,6 +170,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryBase <= 0 {
 		c.RetryBase = 10 * time.Millisecond
 	}
+	if c.SetCacheSize <= 0 {
+		c.SetCacheSize = 8
+	}
+	if c.MaxSyncCompute <= 0 {
+		c.MaxSyncCompute = 4 * runtime.GOMAXPROCS(0)
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -126,14 +187,28 @@ type Server struct {
 	cfg   Config
 	log   *slog.Logger
 	cache *resultCache
+	sets  *setCache
 	jobs  *jobManager
+
+	// store is the persistent result store (nil when Config.StoreDir is
+	// empty); ring and self describe this replica's place in the serving
+	// tier (ring nil when the tier is this single replica).
+	store      *store.Store
+	ring       *shard.Ring
+	self       string
+	peerClient *http.Client
+
+	// syncSem is the admission-control semaphore bounding synchronous
+	// pipeline computations; see Config.MaxSyncCompute.
+	syncSem chan struct{}
 
 	// chaos is the daemon-seam fault plan (nil when Config.Chaos is empty).
 	// HTTP request ordinals — the per-endpoint coordinate axis — live in
-	// httpSeq, guarded by seqMu.
+	// httpSeq; peer-forward ordinals in peerSeq. Both guarded by seqMu.
 	chaos   *fault.Plan
 	seqMu   sync.Mutex
 	httpSeq map[string]int
+	peerSeq map[string]int
 
 	reg             *obs.Registry
 	requestsTotal   *obs.CounterVec
@@ -148,21 +223,63 @@ type Server struct {
 	faultsInjected  *obs.CounterVec
 	jobRetries      *obs.Counter
 
+	storeHits      *obs.Counter
+	storeMisses    *obs.Counter
+	storeWrites    *obs.Counter
+	storeCorrupt   *obs.Counter
+	batchCoalesced *obs.Counter
+	collections    *obs.Counter
+	shardRequests  *obs.CounterVec
+	admissionRejch *obs.CounterVec
+
 	addrMu    sync.Mutex
 	boundAddr net.Addr
 	ready     chan struct{} // closed once Run is listening
 }
 
-// New constructs a Server from cfg (zero fields take defaults).
-func New(cfg Config) *Server {
+// New constructs a Server from cfg (zero fields take defaults). It fails
+// only on distributed-tier configuration: an unopenable store directory or
+// an unusable peer list.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		reg:     reg,
-		httpSeq: map[string]int{},
-		ready:   make(chan struct{}),
+		cfg:        cfg,
+		log:        cfg.Logger,
+		reg:        reg,
+		httpSeq:    map[string]int{},
+		peerSeq:    map[string]int{},
+		peerClient: &http.Client{},
+		syncSem:    make(chan struct{}, cfg.MaxSyncCompute),
+		ready:      make(chan struct{}),
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening result store: %w", err)
+		}
+		s.store = st
+	}
+	if len(cfg.Peers) > 0 {
+		ring, err := shard.New(cfg.Peers, 0)
+		if err != nil {
+			return nil, fmt.Errorf("server: building shard ring: %w", err)
+		}
+		found := false
+		for _, p := range ring.Peers() {
+			if p == cfg.SelfURL {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("server: self URL %q not among peers %v", cfg.SelfURL, cfg.Peers)
+		}
+		// A "tier" of one replica is the single-process path.
+		if len(ring.Peers()) > 1 {
+			s.ring = ring
+			s.self = cfg.SelfURL
+		}
 	}
 	if cfg.Chaos != "" {
 		// Validate reports a bad spec to the operator; a Server built
@@ -193,9 +310,33 @@ func New(cfg Config) *Server {
 		"Chaos faults injected at daemon seams, by site and kind.", "site", "kind")
 	s.jobRetries = reg.Counter("eventlensd_job_retries_total",
 		"Async job re-runs after transient injected faults.")
+	s.storeHits = reg.Counter("eventlensd_store_hits_total",
+		"Persistent result-store reads that returned a verified entry.")
+	s.storeMisses = reg.Counter("eventlensd_store_misses_total",
+		"Persistent result-store reads that found no entry.")
+	s.storeWrites = reg.Counter("eventlensd_store_writes_total",
+		"Analysis responses published to the persistent result store.")
+	s.storeCorrupt = reg.Counter("eventlensd_store_corrupt_total",
+		"Persistent result-store entries that failed verification (served as misses).")
+	s.batchCoalesced = reg.Counter("eventlensd_batch_coalesced_total",
+		"Analyses that reused a measurement set collected for another configuration.")
+	s.collections = reg.Counter("eventlensd_collections_total",
+		"Benchmark collection passes executed; each serves every analysis sharing its measurement set.")
+	s.shardRequests = reg.CounterVec("eventlensd_shard_requests_total",
+		"Sharded analyze requests, by routing outcome (local, forwarded, failover).", "outcome")
+	s.admissionRejch = reg.CounterVec("eventlensd_admission_rejected_total",
+		"Requests rejected with 429 by admission control, by site (sync, jobs).", "site")
+	reg.GaugeFunc("eventlensd_store_entries",
+		"Entries currently in the persistent result store.", func() int64 {
+			if s.store == nil {
+				return 0
+			}
+			return int64(s.store.Len())
+		})
 	s.cache = newResultCache(cfg.CacheSize, s.cacheHits, s.cacheMisses)
+	s.sets = newSetCache(cfg.SetCacheSize, s.batchCoalesced, s.collections)
 	s.jobs = newJobManager(cfg.QueueDepth, cfg.JobTimeout, s.jobsInflight, s.queueDepth, s.jobsTotal)
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's routed and instrumented HTTP handler.
@@ -400,9 +541,13 @@ func (s *Server) Run(ctx context.Context) error {
 	if err := s.cfg.Validate(); err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return err
+	ln := s.cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return err
+		}
 	}
 	s.addrMu.Lock()
 	s.boundAddr = ln.Addr()

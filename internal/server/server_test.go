@@ -22,7 +22,11 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -222,6 +226,15 @@ func TestMetricsEndpoint(t *testing.T) {
 		"eventlensd_jobs_queue_depth 0",
 		"# TYPE eventlensd_pipeline_seconds histogram",
 		"eventlensd_pipeline_seconds_count 1",
+		// Distributed-tier metrics are always exported, even when the store
+		// and sharding are off, so dashboards never miss series.
+		"eventlensd_store_hits_total 0",
+		"eventlensd_store_misses_total 0",
+		"eventlensd_store_writes_total 0",
+		"eventlensd_store_corrupt_total 0",
+		"eventlensd_store_entries 0",
+		"eventlensd_batch_coalesced_total 0",
+		"eventlensd_collections_total 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q", want)
@@ -400,8 +413,13 @@ func TestJobCancelQueuedAndQueueFull(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Queue holds one job already: the next enqueue must 503.
-	decodeEnvelope(t, postJSON(t, h, "/v1/jobs", `{"benchmark":"branch"}`), http.StatusServiceUnavailable)
+	// Queue holds one job already: the next enqueue is rejected by admission
+	// control — 429 with a Retry-After hint, not a 5xx.
+	full := postJSON(t, h, "/v1/jobs", `{"benchmark":"branch"}`)
+	decodeEnvelope(t, full, http.StatusTooManyRequests)
+	if full.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
 
 	req := httptest.NewRequest(http.MethodDelete, "/v1/jobs/"+view.ID, nil)
 	rec := httptest.NewRecorder()

@@ -142,28 +142,46 @@ func (b Benchmark) Analyze(cfg cat.RunConfig) (*core.Result, *core.MeasurementSe
 // analysis stage, so servers and job workers can abandon work whose deadline
 // passed. Passing b.Config as analysis reproduces Analyze.
 func (b Benchmark) AnalyzeContext(ctx context.Context, cfg cat.RunConfig, analysis core.Config) (*core.Result, *core.MeasurementSet, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	platform, err := b.NewPlatform()
+	set, err := b.Collect(ctx, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	set, err := b.Run(platform, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	basis, err := b.Basis()
-	if err != nil {
-		return nil, nil, err
-	}
-	pipe := &core.Pipeline{Basis: basis, Config: analysis}
-	res, err := pipe.AnalyzeContext(ctx, set)
+	res, err := b.AnalyzeSet(ctx, set, analysis)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, set, nil
+}
+
+// Collect runs only the measurement phase — platform construction and the
+// CAT collection pass — and returns the measurement set. It is the expensive
+// half of AnalyzeContext, split out so a serving tier can run it once per
+// (benchmark, RunConfig) and feed the same set to many analysis
+// configurations via AnalyzeSet. The returned set is treated as immutable by
+// every analysis stage, which is what makes that sharing sound.
+func (b Benchmark) Collect(ctx context.Context, cfg cat.RunConfig) (*core.MeasurementSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	platform, err := b.NewPlatform()
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(platform, cfg)
+}
+
+// AnalyzeSet runs the analysis phase — noise filter, projection, QRCP — over
+// an already-collected measurement set. Collect + AnalyzeSet compose to
+// AnalyzeContext; calling AnalyzeSet repeatedly with different analysis
+// configurations over one set never re-collects and never mutates the set.
+func (b Benchmark) AnalyzeSet(ctx context.Context, set *core.MeasurementSet, analysis core.Config) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	basis, err := b.Basis()
+	if err != nil {
+		return nil, err
+	}
+	pipe := &core.Pipeline{Basis: basis, Config: analysis}
+	return pipe.AnalyzeContext(ctx, set)
 }
