@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race lint verify chaos cluster fuzz cover golden bench clean
+.PHONY: build test race lint verify chaos cluster fuzz cover golden bench bench-guard profile clean
 
 build:
 	$(GO) build ./...
@@ -63,13 +63,29 @@ golden:
 	$(GO) test ./cmd/... -run Golden -update
 
 # Smoke-run the table/figure/collection/projection benchmarks once each and
-# record the result as BENCH_4.json, so the performance trajectory is
+# record the result as BENCH_7.json, so the performance trajectory is
 # versioned alongside the code. -benchtime=1x keeps this cheap enough for CI;
 # run `go test -bench 'Serial|Parallel' -benchtime=2s .` for real comparisons.
 bench:
 	$(GO) test -run '^$$' -bench 'Table|Figure|Collect|BuildX|NoiseFilter' -benchtime=1x -count=1 . | tee bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_4.json < bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_7.json < bench.out
 	@rm -f bench.out
 
+# Regression guard for the collection hot path: re-run the DCache collection
+# benchmark and fail if ns/op exceeds 2x the committed BENCH_7.json baseline.
+# -benchtime=2x smooths one-shot jitter without making CI slow.
+bench-guard:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollectDCache$$' -benchtime=2x -count=1 . | tee bench.out
+	$(GO) run ./cmd/benchjson -guard BENCH_7.json < bench.out
+	@rm -f bench.out
+
+# CPU + heap profiles of the DCache collection hot path; inspect with
+# `go tool pprof cpu.prof` / `go tool pprof mem.prof`. cmd/catrun grows the
+# same -cpuprofile/-memprofile flags for profiling full benchmark runs.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollectDCache$$' -benchtime=3x -count=1 \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
+
 clean:
-	rm -f bench.out cover.out
+	rm -f bench.out cover.out cpu.prof mem.prof *.test

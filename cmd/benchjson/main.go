@@ -58,6 +58,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "output file (default stdout)")
+	guard := fs.String("guard", "", "baseline BENCH_<n>.json: compare instead of emitting, fail on regression")
+	guardName := fs.String("guard-name", "BenchmarkCollectDCache", "benchmark to guard (GOMAXPROCS suffix ignored)")
+	guardFactor := fs.Float64("guard-factor", 2, "fail when ns/op exceeds baseline by more than this factor")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
@@ -68,6 +71,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
+	}
+	if *guard != "" {
+		return runGuard(doc, *guard, *guardName, *guardFactor, stdout)
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -82,6 +88,61 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	return nil
+}
+
+// baseName strips the -GOMAXPROCS suffix go test appends, so baselines and
+// runs recorded on machines with different core counts still compare.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// findResult locates a benchmark by suffix-normalized name.
+func findResult(doc *Document, name string) (Result, bool) {
+	for _, r := range doc.Benchmarks {
+		if baseName(r.Name) == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// runGuard compares the parsed run against a committed baseline document and
+// fails when the guarded benchmark's ns/op regressed past the factor. A
+// missing benchmark on either side is an error — a guard that cannot find
+// its subject must not pass silently.
+func runGuard(doc *Document, baselinePath, name string, factor float64, stdout io.Writer) error {
+	if factor <= 0 {
+		return fmt.Errorf("guard-factor must be > 0, got %v", factor)
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("guard baseline: %w", err)
+	}
+	var baseline Document
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("guard baseline %s: %w", baselinePath, err)
+	}
+	base, ok := findResult(&baseline, name)
+	if !ok {
+		return fmt.Errorf("guard: baseline %s has no benchmark %q", baselinePath, name)
+	}
+	cur, ok := findResult(doc, name)
+	if !ok {
+		return fmt.Errorf("guard: current run has no benchmark %q", name)
+	}
+	limit := base.NsPerOp * factor
+	if cur.NsPerOp > limit {
+		return fmt.Errorf("guard: %s regressed to %.0f ns/op, more than %gx the %s baseline of %.0f ns/op",
+			name, cur.NsPerOp, factor, baselinePath, base.NsPerOp)
+	}
+	fmt.Fprintf(stdout, "guard: %s at %.0f ns/op within %gx of baseline %.0f ns/op\n",
+		name, cur.NsPerOp, factor, base.NsPerOp)
 	return nil
 }
 

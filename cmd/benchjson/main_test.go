@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"flag"
 	"strings"
 	"testing"
@@ -55,5 +58,54 @@ func TestFlagSmoke(t *testing.T) {
 	var ue *cli.UsageError
 	if err := run([]string{"-nope"}, strings.NewReader(""), &stdout, &stderr); !errors.As(err, &ue) {
 		t.Errorf("bad flag: got %v, want UsageError", err)
+	}
+}
+
+// writeBaseline writes a baseline document with the given ns/op for
+// BenchmarkCollectDCache (suffix differing from the sample's -8 on purpose,
+// to prove name normalization).
+func writeBaseline(t *testing.T, ns float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	doc := fmt.Sprintf(`{"benchmarks":[{"name":"BenchmarkCollectDCache-4","iterations":1,"ns_per_op":%g,"bytes_per_op":-1,"allocs_per_op":-1}]}`, ns)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGuardPassAndFail pins the bench-guard contract: within the factor the
+// guard passes, past it the guard fails naming both numbers.
+func TestGuardPassAndFail(t *testing.T) {
+	// Sample run has BenchmarkCollectDCache-8 at 110250 ns/op.
+	pass := writeBaseline(t, 60000) // 2x budget = 120000 > 110250
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-guard", pass}, strings.NewReader(sampleBench), &stdout, &stderr); err != nil {
+		t.Fatalf("guard should pass: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "within") {
+		t.Errorf("no pass message: %q", stdout.String())
+	}
+	fail := writeBaseline(t, 50000) // 2x budget = 100000 < 110250
+	err := run([]string{"-guard", fail}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("guard should fail with a regression message, got %v", err)
+	}
+}
+
+// TestGuardMissingBenchmark proves a guard that cannot find its subject
+// errors instead of passing silently.
+func TestGuardMissingBenchmark(t *testing.T) {
+	base := writeBaseline(t, 60000)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-guard", base, "-guard-name", "BenchmarkNoSuch"},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark") {
+		t.Fatalf("want missing-benchmark error, got %v", err)
+	}
+	err = run([]string{"-guard", filepath.Join(t.TempDir(), "missing.json")},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if err == nil {
+		t.Fatal("want error for missing baseline file")
 	}
 }

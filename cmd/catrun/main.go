@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/perfmetrics/eventlens/internal/cat"
@@ -33,6 +35,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	threads := fs.Int("threads", 0, "measuring threads (default: benchmark-specific)")
 	list := fs.Bool("list", false, "list available benchmarks and exit")
 	csvOut := fs.String("csv", "", "also export measurements as CSV to this path")
+	workers := fs.Int("workers", 0, "collection workers (0 means GOMAXPROCS, 1 is the serial reference path)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the collection to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after collection to this path")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
@@ -70,9 +75,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "catrun: running %s on %s (%d events, %d reps, %d threads)\n",
 		bench.Name, platform.Name, platform.Catalog.Len(), cfg.Reps, cfg.Threads)
-	set, err := bench.Run(platform, cat.RunConfig{Reps: cfg.Reps, Threads: cfg.Threads})
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("catrun: cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	set, err := bench.Run(platform, cat.RunConfig{Reps: cfg.Reps, Threads: cfg.Threads, Workers: *workers})
 	if err != nil {
 		return err
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("catrun: heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "catrun: wrote heap profile to %s\n", *memProfile)
 	}
 	if err := catio.WriteFile(*out, set); err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -77,6 +78,30 @@ func TestNegativeRunConfigRejected(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "must be >= 1") {
 			t.Errorf("run(%q): unhelpful message %q", args, err)
+		}
+	}
+}
+
+// TestProfileFlags runs a collection with -cpuprofile/-memprofile and
+// checks both profiles land on disk non-empty — the `make profile`
+// workflow documented in TESTING.md.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	out := filepath.Join(dir, "branch.json")
+	_, logs := runCmd(t, "-bench", "branch", "-out", out, "-reps", "1",
+		"-workers", "2", "-cpuprofile", cpu, "-memprofile", mem)
+	if !strings.Contains(logs, "heap profile") {
+		t.Errorf("no heap-profile log on stderr: %q", logs)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
 		}
 	}
 }

@@ -1,9 +1,6 @@
 package cachesim
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // ChaseConfig describes one pointer-chase workload: Elements pointers laid
 // out StrideBytes apart, visited in a single random cycle (Sattolo
@@ -31,27 +28,19 @@ func (c ChaseConfig) Validate() error {
 }
 
 // BuildChain returns the access sequence of one full traversal of the chase:
-// a permutation of all element addresses forming a single cycle.
+// a permutation of all element addresses forming a single cycle (Sattolo's
+// algorithm — a uniformly random single-cycle permutation, built by
+// buildPerm and shared with the planned execution path in plan.go).
 func BuildChain(cfg ChaseConfig) ([]uint64, error) {
-	if err := cfg.Validate(); err != nil {
+	next, err := buildPerm(cfg)
+	if err != nil {
 		return nil, err
 	}
-	n := cfg.Elements
-	// Sattolo's algorithm: a uniformly random single-cycle permutation.
-	next := make([]int, n)
-	for i := range next {
-		next[i] = i
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for i := n - 1; i > 0; i-- {
-		j := rng.Intn(i)
-		next[i], next[j] = next[j], next[i]
-	}
 	// Walk the cycle starting at element 0, emitting addresses.
-	chain := make([]uint64, n)
-	cur := 0
-	for k := 0; k < n; k++ {
-		chain[k] = cfg.Base + uint64(cur*cfg.StrideBytes)
+	chain := make([]uint64, cfg.Elements)
+	cur := int32(0)
+	for k := range chain {
+		chain[k] = cfg.Base + uint64(cur)*uint64(cfg.StrideBytes)
 		cur = next[cur]
 	}
 	return chain, nil

@@ -1,0 +1,195 @@
+package cachesim
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/perfmetrics/eventlens/internal/par"
+)
+
+// fastrun.go executes many sweep points through the optimized engine. The
+// whole (task × component × residue-class) space flattens into independent
+// execution units that fan out through par.ForErr under the caller's worker
+// budget — one giant Mem-region chase no longer serializes a collection,
+// because its cache side is arithmetic (plan.go analysis 1) and its TLB side
+// splits into set-residue chunks (analysis 2). Every unit writes only its
+// own slot of a pre-sized counter slice, and reduction sums uint64 counters
+// in fixed order, so results are bit-identical to the reference simulator
+// for any worker count — the equivalence property tests in fast_test.go and
+// the repo-level determinism suite both prove it.
+
+// SweepTask is one chase execution request: a sweep point plus the seed of
+// its chain permutation.
+type SweepTask struct {
+	Point SweepPoint
+	Seed  int64
+}
+
+// unitCounts carries one execution unit's counters out of the worker pool.
+type unitCounts struct {
+	hits, misses []uint64
+	bottom       uint64
+	accesses     uint64
+}
+
+// execUnit names one replayable chunk: a task's cache or TLB component,
+// restricted to one residue group of its plan.
+type execUnit struct {
+	task  int
+	group int
+	tlb   bool
+}
+
+// RunSweepTasks runs every task — warmup traversal, counter reset, passes
+// measured traversals — and returns one ChaseResult per task, bit-identical
+// to calling RunSweepPointTLB per task with the same arguments. workers
+// follows the par convention (0 = GOMAXPROCS, 1 = serial).
+func RunSweepTasks(cfgs []LevelConfig, tlbCfgs []TLBConfig, tasks []SweepTask, passes, workers int) ([]*ChaseResult, error) {
+	// Validate geometry once through the reference constructors so the fast
+	// path rejects exactly what the reference path rejects.
+	h, err := NewHierarchy(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	lineShift := h.lineShift
+	if len(tlbCfgs) > 0 {
+		if _, err := NewTLBHierarchy(tlbCfgs); err != nil {
+			return nil, err
+		}
+	}
+	if passes < 1 {
+		return nil, fmt.Errorf("cachesim: passes must be >= 1, got %d", passes)
+	}
+
+	// Phase 1: resolve every task's plan (cache-hit or build) concurrently.
+	plans := make([]*chasePlan, len(tasks))
+	err = par.ForErr(workers, len(tasks), func(i int) error {
+		p, err := planFor(cfgs, tlbCfgs, ChaseConfig{
+			Elements:    tasks[i].Point.Elements,
+			StrideBytes: tasks[i].Point.StrideBytes,
+			Seed:        tasks[i].Seed,
+		}, lineShift)
+		plans[i] = p
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: enumerate units deterministically and replay them under the
+	// worker budget. Engines recycle through pools — resetState is O(1).
+	var units []execUnit
+	for ti, p := range plans {
+		for g := 0; g+1 < len(p.cacheStarts); g++ {
+			if p.cacheStarts[g+1] > p.cacheStarts[g] {
+				units = append(units, execUnit{task: ti, group: g})
+			}
+		}
+		for g := 0; g+1 < len(p.tlbStarts); g++ {
+			if p.tlbStarts[g+1] > p.tlbStarts[g] {
+				units = append(units, execUnit{task: ti, group: g, tlb: true})
+			}
+		}
+	}
+	counts := make([]unitCounts, len(units))
+	cachePools := make([]sync.Pool, len(cfgs))
+	for f := range cachePools {
+		tail := cfgs[f:]
+		cachePools[f].New = func() any { return newFastCacheSim(tail, lineShift) }
+	}
+	var tlbPool sync.Pool
+	tlbPool.New = func() any { return newFastTLBSim(tlbCfgs) }
+	err = par.ForErr(workers, len(units), func(ui int) error {
+		u := units[ui]
+		p := plans[u.task]
+		var keys []uint32
+		var sim *fastSim
+		if u.tlb {
+			keys = p.tlbKeys[p.tlbStarts[u.group]:p.tlbStarts[u.group+1]]
+			sim = tlbPool.Get().(*fastSim)
+			defer tlbPool.Put(sim)
+		} else {
+			keys = p.cacheKeys[p.cacheStarts[u.group]:p.cacheStarts[u.group+1]]
+			sim = cachePools[p.firstSim].Get().(*fastSim)
+			defer cachePools[p.firstSim].Put(sim)
+		}
+		sim.resetState()
+		sim.replay(keys)
+		sim.resetCounters()
+		for pass := 0; pass < passes; pass++ {
+			sim.replay(keys)
+		}
+		c := &counts[ui]
+		c.hits = make([]uint64, len(sim.levels))
+		c.misses = make([]uint64, len(sim.levels))
+		for li := range sim.levels {
+			c.hits[li] = sim.levels[li].hits
+			c.misses[li] = sim.levels[li].misses
+		}
+		c.bottom, c.accesses = sim.bottom, sim.accesses
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: reduce per task in fixed order. Counter totals are exact
+	// uint64 sums over disjoint residue classes, and skipped levels follow
+	// the all-miss arithmetic, so the float divisions below see the same
+	// integer operands the reference produced.
+	results := make([]*ChaseResult, len(tasks))
+	unitIdx := 0
+	for ti, p := range plans {
+		nl := len(cfgs)
+		hits := make([]uint64, nl)
+		misses := make([]uint64, nl)
+		var mem, cacheAcc uint64
+		tlbMisses := make([]uint64, len(tlbCfgs))
+		var walks, tlbAcc uint64
+		for ; unitIdx < len(units) && units[unitIdx].task == ti; unitIdx++ {
+			c := &counts[unitIdx]
+			if units[unitIdx].tlb {
+				for li := range tlbMisses {
+					tlbMisses[li] += c.misses[li]
+				}
+				walks += c.bottom
+				tlbAcc += c.accesses
+			} else {
+				for li := range c.hits {
+					hits[p.firstSim+li] += c.hits[li]
+					misses[p.firstSim+li] += c.misses[li]
+				}
+				mem += c.bottom
+				cacheAcc += c.accesses
+			}
+		}
+		n := uint64(p.cfg.Elements) * uint64(passes)
+		for li := 0; li < p.firstSim; li++ {
+			misses[li] = n
+		}
+		if p.firstSim == nl {
+			// Whole cache side is arithmetic: every access misses all levels
+			// and goes to memory.
+			mem, cacheAcc = n, n
+		}
+		if cacheAcc != n || (len(tlbCfgs) > 0 && tlbAcc != n) {
+			return nil, fmt.Errorf("cachesim: internal: sharded access count %d/%d != %d for %s",
+				cacheAcc, tlbAcc, n, tasks[ti].Point.Name())
+		}
+		res := &ChaseResult{Config: p.cfg, Accesses: n}
+		nf := float64(n)
+		for li := 0; li < nl; li++ {
+			res.HitRate = append(res.HitRate, float64(hits[li])/nf)
+			res.MissRate = append(res.MissRate, float64(misses[li])/nf)
+		}
+		res.MemRate = float64(mem) / nf
+		if len(tlbCfgs) > 0 {
+			for li := range tlbCfgs {
+				res.TLBMissRate = append(res.TLBMissRate, float64(tlbMisses[li])/nf)
+			}
+			res.WalkRate = float64(walks) / nf
+		}
+		results[ti] = res
+	}
+	return results, nil
+}

@@ -62,31 +62,49 @@ func (b *DCache) PointNames() []string {
 
 // GroundTruth runs the sweep for one thread (each thread owns a private
 // hierarchy and a disjoint buffer, so ideal rates are thread-independent)
-// and returns per-access statistics for every point.
+// and returns per-access statistics for every point. It runs sequentially
+// on the calling goroutine through the reference simulator — this is the
+// Workers=1 collection path and the differential baseline the determinism
+// suite compares the optimized engine against; it spawns nothing, so
+// `-workers 1` really is serial.
 func (b *DCache) GroundTruth(threadSeed int64) ([]machine.Stats, error) {
 	pts := b.Points()
 	stats := make([]machine.Stats, len(pts))
-	var wg sync.WaitGroup
-	errs := make([]error, len(pts))
 	for i, p := range pts {
-		wg.Add(1)
-		go func(i int, p cachesim.SweepPoint) {
-			defer wg.Done()
-			res, err := cachesim.RunSweepPointTLB(b.Levels, b.TLBs, p, b.Seed+threadSeed*7919+int64(i), b.Passes)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			stats[i] = cacheStats(res)
-		}(i, p)
-	}
-	wg.Wait()
-	for _, err := range errs {
+		res, err := cachesim.RunSweepPointTLB(b.Levels, b.TLBs, p, b.Seed+threadSeed*7919+int64(i), b.Passes)
 		if err != nil {
 			return nil, err
 		}
+		stats[i] = cacheStats(res)
 	}
 	return stats, nil
+}
+
+// groundTruthFast computes every thread's ground truth through the planned
+// cachesim engine: the whole (thread × sweep-point) space — further split
+// into residue-class chunks for large chases — fans out through par.ForErr
+// under the workers budget, with each coordinate's chain seed preserved, so
+// results are byte-identical to GroundTruth for any worker count.
+func (b *DCache) groundTruthFast(threads, workers int) ([][]machine.Stats, error) {
+	pts := b.Points()
+	tasks := make([]cachesim.SweepTask, 0, threads*len(pts))
+	for t := 0; t < threads; t++ {
+		for i, p := range pts {
+			tasks = append(tasks, cachesim.SweepTask{Point: p, Seed: b.Seed + int64(t)*7919 + int64(i)})
+		}
+	}
+	results, err := cachesim.RunSweepTasks(b.Levels, b.TLBs, tasks, b.Passes, workers)
+	if err != nil {
+		return nil, err
+	}
+	perThread := make([][]machine.Stats, threads)
+	for t := range perThread {
+		perThread[t] = make([]machine.Stats, len(pts))
+		for i := range pts {
+			perThread[t][i] = cacheStats(results[t*len(pts)+i])
+		}
+	}
+	return perThread, nil
 }
 
 // cacheStats flattens chase rates into ground-truth stat keys (per access).
@@ -143,27 +161,30 @@ func (b *DCache) Basis() (*core.Basis, error) {
 
 // Run executes the sweep on cfg.Threads concurrent threads and measures
 // every event per repetition and thread. Ground truth and measurement both
-// fan out across workers; the measurement set is assembled in the serial
-// (rep, thread, catalog) order.
+// fan out across cfg.Workers; the measurement set is assembled in the
+// serial (rep, thread, catalog) order. Workers=1 takes the sequential
+// reference simulator; any other worker count takes the planned cachesim
+// engine — both produce byte-identical sets, which the determinism suite's
+// Workers=1-vs-N report comparison proves end to end.
 func (b *DCache) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	// Per-thread ground truth, computed concurrently.
-	perThread := make([][]machine.Stats, cfg.Threads)
-	var wg sync.WaitGroup
-	errs := make([]error, cfg.Threads)
-	for t := 0; t < cfg.Threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			perThread[t], errs[t] = b.GroundTruth(int64(t))
-		}(t)
-	}
-	wg.Wait()
-	for t, err := range errs {
+	var perThread [][]machine.Stats
+	if cfg.Workers == 1 {
+		perThread = make([][]machine.Stats, cfg.Threads)
+		for t := 0; t < cfg.Threads; t++ {
+			stats, err := b.GroundTruth(int64(t))
+			if err != nil {
+				return nil, fmt.Errorf("cat: dcache thread %d: %w", t, err)
+			}
+			perThread[t] = stats
+		}
+	} else {
+		var err error
+		perThread, err = b.groundTruthFast(cfg.Threads, cfg.Workers)
 		if err != nil {
-			return nil, fmt.Errorf("cat: dcache thread %d: %w", t, err)
+			return nil, fmt.Errorf("cat: dcache: %w", err)
 		}
 	}
 	set := core.NewMeasurementSet("dcache", p.Name, b.PointNames())

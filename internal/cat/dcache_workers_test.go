@@ -1,0 +1,80 @@
+package cat
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cachesim"
+	"github.com/perfmetrics/eventlens/internal/machine"
+)
+
+// statsBits renders ground-truth stats as float bit patterns so equality
+// checks are exact, not tolerance-based.
+func statsBits(stats []machine.Stats) []map[string]uint64 {
+	out := make([]map[string]uint64, len(stats))
+	for i, s := range stats {
+		m := make(map[string]uint64, len(s))
+		for k, v := range s {
+			m[string(k)] = math.Float64bits(v)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// TestDCacheWorkersBitIdentical proves the Workers=1 reference path (the
+// sequential pre-optimization simulator) and the planned fast path produce
+// bit-identical measurement sets for every worker count — with and without
+// TLB modelling, and with sharding forced onto the tiny footprints.
+func TestDCacheWorkersBitIdentical(t *testing.T) {
+	p := sprPlatform(t)
+	for _, withTLB := range []bool{false, true} {
+		b := testDCache()
+		if withTLB {
+			b.TLBs = []cachesim.TLBConfig{
+				{Name: "DTLB", Entries: 8, Ways: 2, PageBits: 8},
+				{Name: "STLB", Entries: 32, Ways: 4, PageBits: 8},
+			}
+		}
+		ref, err := b.Run(p, RunConfig{Reps: 3, Threads: 4, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 8} {
+			b2 := testDCache()
+			b2.TLBs = b.TLBs
+			got, err := b2.Run(p, RunConfig{Reps: 3, Threads: 4, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("tlb=%v workers=%d: measurement set differs from the Workers=1 reference", withTLB, workers)
+			}
+		}
+	}
+}
+
+// TestDCacheGroundTruthMatchesFast compares the two ground-truth engines
+// directly, bit for bit, per thread and point.
+func TestDCacheGroundTruthMatchesFast(t *testing.T) {
+	b := testDCache()
+	b.TLBs = []cachesim.TLBConfig{
+		{Name: "DTLB", Entries: 8, Ways: 2, PageBits: 8},
+		{Name: "STLB", Entries: 32, Ways: 4, PageBits: 8},
+	}
+	const threads = 3
+	fast, err := b.groundTruthFast(threads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for thread := 0; thread < threads; thread++ {
+		ref, err := b.GroundTruth(int64(thread))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(statsBits(ref), statsBits(fast[thread])) {
+			t.Fatalf("thread %d: fast ground truth differs from reference", thread)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -192,12 +193,25 @@ func fpVectorTerms() map[string]float64 {
 }
 
 // linearResponse returns a response function computing a fixed linear
-// combination of ground-truth stats.
+// combination of ground-truth stats. The terms are frozen into key-sorted
+// order at construction: float addition is order-sensitive at the ulp
+// level, so summing in map iteration order would make event readings — and
+// therefore reports — differ between identical runs. Sorted-slice iteration
+// is also cheaper per evaluation than walking the map.
 func linearResponse(terms map[string]float64) func(Stats) float64 {
+	keys := make([]string, 0, len(terms))
+	for k := range terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	coeffs := make([]float64, len(keys))
+	for i, k := range keys {
+		coeffs[i] = terms[k]
+	}
 	return func(s Stats) float64 {
 		var v float64
-		for k, c := range terms {
-			v += c * s.Get(k)
+		for i, k := range keys {
+			v += coeffs[i] * s.Get(k)
 		}
 		return v
 	}
