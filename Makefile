@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race lint verify chaos cluster fuzz cover golden bench bench-guard profile clean
+.PHONY: build test race lint verify validate chaos cluster fuzz cover golden bench bench-guard profile clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,16 @@ lint:
 # static gate so local verification matches CI. See TESTING.md.
 verify: lint
 	$(GO) run ./cmd/verify -quick
+
+# Event-trust lane: the full per-event trust reports for both catalogs (text
+# to stdout), plus the validation/similarity test suites — the trust decision
+# tree, duplicate/permutation invariance, minimal spanning kernel selection,
+# and the /v1/events/validate endpoint. See DESIGN.md §14.
+validate:
+	$(GO) test -count=1 ./internal/validate/... ./internal/similarity/... ./cmd/validate
+	$(GO) test -count=1 -run 'TestMinimalKernels|TestValidate' ./internal/suite ./internal/server
+	$(GO) run ./cmd/validate -platform spr
+	$(GO) run ./cmd/validate -platform mi250x
 
 # Chaos lane: the fault-injection invariants (replay, recovery, degradation —
 # DESIGN.md §11) as oracle checks, then the fault-injection e2e tests at every
@@ -49,6 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzEvalPostfix$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundToGrid$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzMaxRNMSE$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzCluster$$' -fuzztime $(FUZZTIME) ./internal/similarity
 
 # Total statement coverage with a hard floor, so coverage can only ratchet up.
 cover:

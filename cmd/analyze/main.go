@@ -38,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	presets := fs.Bool("presets", false, "emit PAPI-style preset definitions for the composable metrics")
 	explain := fs.String("explain", "", "explain what a raw event measures in the benchmark's basis ('all' for every kept event)")
 	ratios := fs.Bool("ratios", false, "also derive the benchmark's standard ratio metrics")
+	minimal := fs.Bool("minimal", false, "collect only the minimal spanning kernel subset (similarity-clustered points)")
 	workersFlag := fs.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = serial; output is byte-identical either way)")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
@@ -79,13 +80,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		runCfg := cat.RunConfig(bench.DefaultRun)
 		runCfg.Workers = *workersFlag
+		runCfg.MinimalKernels = *minimal
 		set, err = bench.Run(platform, runCfg)
 		if err != nil {
 			return err
 		}
 	}
 
-	basis, err := bench.Basis()
+	// The basis must match the set's points: a -minimal collection (or a
+	// reduced measurement file) analyzes against the matching basis rows.
+	basis, err := bench.BasisFor(set)
 	if err != nil {
 		return err
 	}

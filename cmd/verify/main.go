@@ -31,7 +31,7 @@ import (
 
 // goldenCLIs lists the commands whose golden snapshots must exist, relative
 // to the repository root.
-var goldenCLIs = []string{"analyze", "report", "tables", "figures", "avail", "catrun", "monitor"}
+var goldenCLIs = []string{"analyze", "report", "tables", "figures", "avail", "catrun", "monitor", "validate"}
 
 func main() {
 	cli.Main("verify", run)

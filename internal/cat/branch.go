@@ -83,7 +83,19 @@ func (b *Branch) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet, 
 	if err != nil {
 		return nil, err
 	}
-	set := core.NewMeasurementSet("branch", p.Name, b.PointNames())
+	names := b.PointNames()
+	if cfg.MinimalKernels {
+		basis, err := b.Basis()
+		if err != nil {
+			return nil, err
+		}
+		reduced, perThread, err := minimalSubset(p, basis, names, [][]machine.Stats{points})
+		if err != nil {
+			return nil, err
+		}
+		names, points = reduced, perThread[0]
+	}
+	set := core.NewMeasurementSet("branch", p.Name, names)
 	if err := measureInto(set, p, points, cfg); err != nil {
 		return nil, err
 	}

@@ -44,6 +44,15 @@ type RunConfig struct {
 	// but only when set, keeping clean-run keys identical to earlier
 	// releases.
 	Faults string `json:"faults,omitempty"`
+	// MinimalKernels opts into spanning-kernel collection (DESIGN.md §14):
+	// before measuring, the benchmark's points are clustered by cosine
+	// similarity of their ideal catalog responses (internal/similarity) and
+	// only each cluster's first point is measured, shrinking collection for
+	// redundancy-heavy benchmarks. Analysis then runs against the matching
+	// row subset of the expectation basis. Like Faults it changes the
+	// collected bytes (fewer points, and noise is seeded by point *index*),
+	// so it is part of String() and cache keys when set.
+	MinimalKernels bool `json:"minimal_kernels,omitempty"`
 }
 
 // DefaultRunConfig matches the paper's setup: 5 repetitions, single thread.
@@ -58,6 +67,11 @@ func DefaultRunConfig() RunConfig {
 // the spec's canonical form so equivalent spellings share a cache entry.
 func (c RunConfig) String() string {
 	s := fmt.Sprintf("reps=%d,threads=%d", c.Reps, c.Threads)
+	if c.MinimalKernels {
+		// Only when set, keeping full-collection keys identical to earlier
+		// releases.
+		s += ",minimal=1"
+	}
 	if c.Faults != "" {
 		if spec, err := fault.ParseSpec(c.Faults); err == nil {
 			return s + ",faults=" + spec.String()

@@ -159,35 +159,59 @@ func (b *DCache) Basis() (*core.Basis, error) {
 	return core.NewBasis(core.CacheBasisSymbols(), b.PointNames(), e)
 }
 
+// GroundTruthAll returns every measuring thread's ground truth for the full
+// sweep under cfg: the sequential reference simulator for Workers==1, the
+// planned cachesim engine otherwise — the same selection Run makes, so both
+// paths stay byte-identical for any worker count. cfg.MinimalKernels is
+// ignored here: ground truth always covers the full sweep (spanning
+// selection happens in Run, and the event-trust validator needs every point).
+func (b *DCache) GroundTruthAll(cfg RunConfig) ([][]machine.Stats, error) {
+	if cfg.Workers != 1 {
+		perThread, err := b.groundTruthFast(cfg.Threads, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("cat: dcache: %w", err)
+		}
+		return perThread, nil
+	}
+	perThread := make([][]machine.Stats, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		stats, err := b.GroundTruth(int64(t))
+		if err != nil {
+			return nil, fmt.Errorf("cat: dcache thread %d: %w", t, err)
+		}
+		perThread[t] = stats
+	}
+	return perThread, nil
+}
+
 // Run executes the sweep on cfg.Threads concurrent threads and measures
 // every event per repetition and thread. Ground truth and measurement both
 // fan out across cfg.Workers; the measurement set is assembled in the
 // serial (rep, thread, catalog) order. Workers=1 takes the sequential
 // reference simulator; any other worker count takes the planned cachesim
 // engine — both produce byte-identical sets, which the determinism suite's
-// Workers=1-vs-N report comparison proves end to end.
+// Workers=1-vs-N report comparison proves end to end. Under
+// cfg.MinimalKernels only the spanning subset of sweep points is measured.
 func (b *DCache) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var perThread [][]machine.Stats
-	if cfg.Workers == 1 {
-		perThread = make([][]machine.Stats, cfg.Threads)
-		for t := 0; t < cfg.Threads; t++ {
-			stats, err := b.GroundTruth(int64(t))
-			if err != nil {
-				return nil, fmt.Errorf("cat: dcache thread %d: %w", t, err)
-			}
-			perThread[t] = stats
-		}
-	} else {
-		var err error
-		perThread, err = b.groundTruthFast(cfg.Threads, cfg.Workers)
+	perThread, err := b.GroundTruthAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	names := b.PointNames()
+	if cfg.MinimalKernels {
+		basis, err := b.Basis()
 		if err != nil {
-			return nil, fmt.Errorf("cat: dcache: %w", err)
+			return nil, err
+		}
+		names, perThread, err = minimalSubset(p, basis, names, perThread)
+		if err != nil {
+			return nil, err
 		}
 	}
-	set := core.NewMeasurementSet("dcache", p.Name, b.PointNames())
+	set := core.NewMeasurementSet("dcache", p.Name, names)
 	if err := measureIntoPoints(set, p, func(t int) []machine.Stats { return perThread[t] }, cfg); err != nil {
 		return nil, err
 	}

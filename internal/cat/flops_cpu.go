@@ -85,13 +85,26 @@ func (b *FlopsCPU) Basis() (*core.Basis, error) {
 	return core.NewBasis(core.CPUFlopsBasisSymbols(), b.PointNames(), e)
 }
 
-// Run measures every event of the platform across the benchmark points.
+// Run measures every event of the platform across the benchmark points —
+// all 48, or only the spanning subset under cfg.MinimalKernels.
 func (b *FlopsCPU) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	set := core.NewMeasurementSet("cpu-flops", p.Name, b.PointNames())
-	if err := measureInto(set, p, b.GroundTruth(), cfg); err != nil {
+	names, points := b.PointNames(), b.GroundTruth()
+	if cfg.MinimalKernels {
+		basis, err := b.Basis()
+		if err != nil {
+			return nil, err
+		}
+		reduced, perThread, err := minimalSubset(p, basis, names, [][]machine.Stats{points})
+		if err != nil {
+			return nil, err
+		}
+		names, points = reduced, perThread[0]
+	}
+	set := core.NewMeasurementSet("cpu-flops", p.Name, names)
+	if err := measureInto(set, p, points, cfg); err != nil {
 		return nil, err
 	}
 	return set, nil

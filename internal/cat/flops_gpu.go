@@ -107,7 +107,19 @@ func (b *FlopsGPU) Run(p *machine.Platform, cfg RunConfig) (*core.MeasurementSet
 	if err != nil {
 		return nil, err
 	}
-	set := core.NewMeasurementSet("gpu-flops", p.Name, b.PointNames())
+	names := b.PointNames()
+	if cfg.MinimalKernels {
+		basis, err := b.Basis()
+		if err != nil {
+			return nil, err
+		}
+		reduced, perThread, err := minimalSubset(p, basis, names, [][]machine.Stats{points})
+		if err != nil {
+			return nil, err
+		}
+		names, points = reduced, perThread[0]
+	}
+	set := core.NewMeasurementSet("gpu-flops", p.Name, names)
 	if err := measureInto(set, p, points, cfg); err != nil {
 		return nil, err
 	}

@@ -83,6 +83,37 @@ func (b *Basis) Expand(coeffs []float64) ([]float64, error) {
 	return mat.MatVec(b.E, coeffs), nil
 }
 
+// SelectPoints returns the basis restricted to the named points (rows), in
+// the given order — the analysis-side counterpart of spanning-kernel
+// collection (cat.RunConfig.MinimalKernels): a measurement set covering only
+// a subset of a benchmark's points analyzes against the matching basis rows.
+// Unknown or duplicate names error, as does a reduction that leaves fewer
+// points than basis dimensions (NewBasis enforces rows >= columns).
+func (b *Basis) SelectPoints(pointNames []string) (*Basis, error) {
+	index := make(map[string]int, len(b.PointNames))
+	for i, n := range b.PointNames {
+		index[n] = i
+	}
+	e := mat.NewDense(len(pointNames), b.Dim())
+	out := make([]string, len(pointNames))
+	seen := make(map[string]bool, len(pointNames))
+	for i, n := range pointNames {
+		row, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("core: basis has no point %q", n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("core: duplicate point %q in selection", n)
+		}
+		seen[n] = true
+		for j := 0; j < b.Dim(); j++ {
+			e.Set(i, j, b.E.At(row, j))
+		}
+		out[i] = n
+	}
+	return NewBasis(b.Names, out, e)
+}
+
 // CheckFullRank verifies the expectation vectors are linearly independent —
 // a malformed basis would make every later stage meaningless.
 func (b *Basis) CheckFullRank() error {

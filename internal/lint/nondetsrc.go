@@ -31,7 +31,9 @@ var nonDetScopes = []string{
 	"internal/par",
 	"internal/report",
 	"internal/shard",
+	"internal/similarity",
 	"internal/store",
+	"internal/validate",
 }
 
 func nonDetScope(pkgPath string) bool {

@@ -47,6 +47,48 @@ type EventDef struct {
 	AbsNoise float64
 	// Respond maps workload ground truth to the event's ideal count.
 	Respond func(Stats) float64
+	// Doc optionally records the event's *documented* semantics as a linear
+	// combination of ground-truth stat keys — what the vendor manual claims
+	// the event counts, as opposed to Respond, which is what the silicon
+	// actually counts. The event-trust validator scores the two against each
+	// other (DESIGN.md §14). nil means undocumented; an empty non-nil map
+	// documents an event that counts nothing the CAT kernels exercise.
+	Doc map[string]float64
+}
+
+// DocExpectation returns the documented expected count for one benchmark
+// point, or ok=false for an undocumented event. Terms are summed in
+// key-sorted order: float addition is order-sensitive at the ulp level, and
+// the validator's reports must be byte-identical run to run.
+func (e EventDef) DocExpectation(s Stats) (float64, bool) {
+	if e.Doc == nil {
+		return 0, false
+	}
+	keys := make([]string, 0, len(e.Doc))
+	for k := range e.Doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var v float64
+	for _, k := range keys {
+		v += e.Doc[k] * s.Get(k)
+	}
+	return v, true
+}
+
+// docTerms is the catalog builders' helper for the common case where the
+// documentation and the silicon agree: a defensive copy of the response
+// terms, preserving the nil (undocumented) vs. empty (documented to count
+// nothing here) distinction.
+func docTerms(terms map[string]float64) map[string]float64 {
+	if terms == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(terms))
+	for k, v := range terms {
+		out[k] = v
+	}
+	return out
 }
 
 // Catalog is an ordered set of event definitions.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
 )
 
 // SapphireRapids constructs the simulated Intel-Sapphire-Rapids-like CPU
@@ -28,6 +30,9 @@ func SapphireRapids() (*Platform, error) {
 		return EventDef{
 			Name: name, Desc: desc, RelNoise: rel, AbsNoise: abs,
 			Respond: linearResponse(terms),
+			// Documentation and silicon agree by default; the quirky events
+			// get their documented semantics overridden below.
+			Doc: docTerms(terms),
 		}
 	}
 
@@ -156,9 +161,52 @@ func SapphireRapids() (*Platform, error) {
 			map[string]float64{KeyIntOps: 0.05}),
 	)
 
+	// --- Documented-vs-silicon divergences (DESIGN.md §14). The vendor
+	// manual describes what each event *should* count; the silicon modelled
+	// above deviates for the quirky ones. Recording the documented linear
+	// semantics separately is what lets the event-trust validator classify
+	// these as scaled/derived rather than valid. ---
+	for i := range events {
+		if strings.HasPrefix(events[i].Name, "FP_ARITH_INST_RETIRED:") {
+			// Documented as instruction counts — FMA once. The silicon counts
+			// FMA twice (the paper's Table V quirk), so every FMA coefficient
+			// 2 above is documented as 1.
+			keys := make([]string, 0, len(events[i].Doc))
+			for k := range events[i].Doc {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if mat.ExactEq(events[i].Doc[k], 2) {
+					events[i].Doc[k] = 1
+				}
+			}
+		}
+		switch events[i].Name {
+		case "CPU_CLK_UNHALTED:REF_TSC":
+			// Documented as reference cycles at the TSC rate; the silicon
+			// ticks at 0.94x the core clock here.
+			events[i].Doc = map[string]float64{KeyCycles: 1}
+		case "BR_MISP_RETIRED:COND_TAKEN":
+			// Documented as all mispredicted taken conditionals; the silicon
+			// undercounts by half.
+			events[i].Doc = map[string]float64{KeyBrMisp: 1}
+		case "L2_RQSTS:ALL_DEMAND_DATA_RD":
+			// Documented as demand reads (= L1 misses); the silicon folds L1
+			// prefetcher traffic in on top.
+			events[i].Doc = map[string]float64{KeyL1Miss: 1}
+		case "OFFCORE_REQUESTS:ALL_REQUESTS":
+			// Documented as offcore requests (= L2 misses); the silicon
+			// overcounts by 10%.
+			events[i].Doc = map[string]float64{KeyL2Miss: 1}
+		}
+	}
+
 	// --- Generated filler families: the long catalog tail. Response
 	// coefficients and noise levels derive deterministically from the event
-	// name, giving the log-spread variability tail of Figure 2. ---
+	// name, giving the log-spread variability tail of Figure 2. Fillers are
+	// deliberately undocumented (Doc == nil): vendor manuals are famously
+	// thin for exactly this class of event. ---
 	events = append(events, sprFillerEvents()...)
 
 	cat, err := NewCatalog(events)

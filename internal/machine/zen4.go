@@ -24,6 +24,7 @@ func Zen4() (*Platform, error) {
 		return EventDef{
 			Name: name, Desc: desc, RelNoise: rel, AbsNoise: abs,
 			Respond: linearResponse(terms),
+			Doc:     docTerms(terms),
 		}
 	}
 

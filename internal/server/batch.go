@@ -116,9 +116,21 @@ func (c *setCache) insert(key string, val *core.MeasurementSet) {
 }
 
 // measurementSet resolves (benchmark, run) to its shared measurement set
-// through the batching cache.
+// through the batching cache. Collections running under minimal spanning
+// kernel selection count themselves and the points the selection pruned
+// (full basis rows minus collected points) — the cost the selection saved.
 func (s *Server) measurementSet(ctx context.Context, bench suite.Benchmark, run cat.RunConfig) (*core.MeasurementSet, error) {
 	return s.sets.get(ctx, run.MeasurementKey(bench.Name), func() (*core.MeasurementSet, error) {
-		return bench.Collect(ctx, run)
+		set, err := bench.Collect(ctx, run)
+		if err != nil {
+			return nil, err
+		}
+		if run.MinimalKernels {
+			s.minimalRuns.Inc()
+			if basis, err := bench.Basis(); err == nil && basis.Points() > len(set.PointNames) {
+				s.minimalPruned.Add(uint64(basis.Points() - len(set.PointNames)))
+			}
+		}
+		return set, nil
 	})
 }

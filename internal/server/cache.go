@@ -8,10 +8,12 @@ import (
 	"github.com/perfmetrics/eventlens/internal/obs"
 )
 
-// resultCache is an LRU cache with singleflight semantics over analysis
-// results. The pipeline is deterministic — the same (benchmark, RunConfig,
-// Config) triple always produces the same result — so cache hits are exact
-// and concurrent identical requests can safely share one pipeline execution.
+// resultCache is an LRU cache with singleflight semantics over computed
+// results (analyses, event-trust validations). Every producer is
+// deterministic — the same canonical key always produces the same result —
+// so cache hits are exact and concurrent identical requests can safely share
+// one execution. Entries are untyped; each endpoint family owns its key
+// prefix and the type behind it.
 type resultCache struct {
 	mu      sync.Mutex
 	max     int
@@ -25,14 +27,14 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	val *analysis
+	val any
 }
 
 // flightCall is one in-progress pipeline execution that concurrent
 // identical requests wait on.
 type flightCall struct {
 	done chan struct{}
-	val  *analysis
+	val  any
 	err  error
 }
 
@@ -47,12 +49,12 @@ func newResultCache(max int, hits, misses *obs.Counter) *resultCache {
 	}
 }
 
-// do returns the cached analysis for key, or runs fn once to produce it.
+// do returns the cached value for key, or runs fn once to produce it.
 // Concurrent calls with the same key wait for the first caller's fn (their
 // own context still applies while waiting). Joining an in-flight execution
 // counts as a hit — the pipeline ran once for many requests. Errors are not
 // cached; the next request retries.
-func (c *resultCache) do(ctx context.Context, key string, fn func() (*analysis, error)) (*analysis, bool, error) {
+func (c *resultCache) do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -93,7 +95,7 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (*analysis, 
 
 // insert adds a value and evicts from the LRU tail past capacity. Caller
 // holds c.mu.
-func (c *resultCache) insert(key string, val *analysis) {
+func (c *resultCache) insert(key string, val any) {
 	if c.max <= 0 {
 		return
 	}

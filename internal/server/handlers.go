@@ -12,8 +12,10 @@ import (
 
 	"github.com/perfmetrics/eventlens/internal/cat"
 	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/fault"
 	"github.com/perfmetrics/eventlens/internal/machine"
 	"github.com/perfmetrics/eventlens/internal/suite"
+	"github.com/perfmetrics/eventlens/internal/validate"
 )
 
 // composableThreshold is the backward-error bound under which a metric
@@ -52,6 +54,16 @@ func errStatus(err error) int {
 		return http.StatusTooManyRequests
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable
+	}
+	// Injected-fault failures (including a validation losing every benchmark)
+	// are the daemon degrading itself, not a client or server bug: 503 so
+	// clients retry, matching the chaos contract of never answering 500 to a
+	// well-formed request under injection.
+	if errors.Is(err, validate.ErrAllDegraded) {
+		return http.StatusServiceUnavailable
+	}
+	if _, ok := fault.As(err); ok {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
@@ -323,7 +335,7 @@ func (s *Server) analysisFor(ctx context.Context, req analyzeRequest, gated bool
 	}
 	key := analysisKey(bench, run, cfg)
 	src := srcHit // stays "hit" when the cache or a joined flight serves it
-	a, _, err := s.cache.do(ctx, key, func() (*analysis, error) {
+	v, _, err := s.cache.do(ctx, key, func() (any, error) {
 		if payload, ok := s.storeGet(key); ok {
 			src = srcDisk
 			return &analysis{bench: bench, run: run, cfg: cfg, respJSON: payload}, nil
@@ -339,7 +351,7 @@ func (s *Server) analysisFor(ctx context.Context, req analyzeRequest, gated bool
 	if err != nil {
 		return nil, src, err
 	}
-	return a, src, nil
+	return v.(*analysis), src, nil
 }
 
 // compute runs the pipeline for one analysis key: collection via the
@@ -484,6 +496,94 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeBody(w, http.StatusOK, a.respJSON)
 }
 
+// ---- Event-trust validation -------------------------------------------
+
+// validateKey is the canonical cache/store/shard key of one event-trust
+// validation: the request's own canonical key under the endpoint's prefix,
+// so validations and analyses never collide in the cache, the persistent
+// store, or the shard ring.
+func validateKey(req validate.Request) (string, error) {
+	k, err := req.Key()
+	if err != nil {
+		return "", httpError{http.StatusBadRequest, err.Error()}
+	}
+	return "validate|" + k, nil
+}
+
+// validateFor returns the canonical validation envelope for a request through
+// the same ladder as analyses: in-memory cache (with singleflight), then the
+// persistent store, then computation — publishing fresh results back to the
+// store. The cached value is the canonical envelope bytes themselves; the
+// validator is deterministic, so equal keys mean equal bytes everywhere.
+func (s *Server) validateFor(ctx context.Context, req validate.Request, gated bool) ([]byte, string, error) {
+	key, err := validateKey(req)
+	if err != nil {
+		return nil, "", err
+	}
+	src := srcHit
+	v, _, err := s.cache.do(ctx, key, func() (any, error) {
+		if payload, ok := s.storeGet(key); ok {
+			src = srcDisk
+			return payload, nil
+		}
+		src = srcMiss
+		if gated {
+			release, err := s.admitSync()
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+		}
+		if req.Workers == 0 {
+			req.Workers = s.cfg.PipelineWorkers
+		}
+		start := time.Now()
+		report, err := validate.Run(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		s.validateRuns.Inc()
+		s.pipelineSeconds.Observe(time.Since(start).Seconds())
+		for _, verdict := range validate.VerdictOrder() {
+			if n := report.Counts[verdict]; n > 0 {
+				s.validateVerdicts.With(verdict).Add(uint64(n))
+			}
+		}
+		payload := validate.NewEnvelope(report).CanonicalJSON()
+		s.storePut(key, payload)
+		return payload, nil
+	})
+	if err != nil {
+		return nil, src, err
+	}
+	return v.([]byte), src, nil
+}
+
+// handleValidate serves /v1/events/validate: the canonical event-trust
+// envelope for a platform, byte-identical to `validate -platform <p> -json`.
+// Requests carrying a fault spec degrade exactly like the CLI — lost
+// benchmarks and dropped events are listed in the report, and only a
+// validation losing every benchmark fails (as 503, never 500).
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req validate.Request
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.ring != nil && r.Header.Get(peerHeader) == "" {
+		if s.maybeForwardValidate(w, r, req) {
+			return
+		}
+	}
+	payload, src, err := s.validateFor(r.Context(), req, true)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("X-Eventlens-Cache", src)
+	writeBody(w, http.StatusOK, payload)
+}
+
 // defineRequest solves one signature — either a named one from the
 // benchmark's table or a custom coefficient vector — against the cached
 // analysis.
@@ -621,7 +721,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	basis, err := a.bench.Basis()
+	basis, err := a.bench.BasisFor(a.set)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -73,10 +73,10 @@ type Config struct {
 	StoreDir string
 	// Peers lists the base URLs ("http://host:port") of every replica in the
 	// serving tier, including this one. With two or more distinct peers,
-	// analysis keys are partitioned across replicas by consistent hashing and
-	// /v1/analyze requests are forwarded to their owner, failing over in ring
-	// order when owners are unreachable. Empty (or just this replica) serves
-	// everything locally.
+	// analysis and validation keys are partitioned across replicas by
+	// consistent hashing and /v1/analyze and /v1/events/validate requests are
+	// forwarded to their owner, failing over in ring order when owners are
+	// unreachable. Empty (or just this replica) serves everything locally.
 	Peers []string
 	// SelfURL is this replica's own entry in Peers; required when Peers is
 	// set, so the replica can recognize keys it owns.
@@ -232,6 +232,11 @@ type Server struct {
 	shardRequests  *obs.CounterVec
 	admissionRejch *obs.CounterVec
 
+	validateRuns     *obs.Counter
+	validateVerdicts *obs.CounterVec
+	minimalRuns      *obs.Counter
+	minimalPruned    *obs.Counter
+
 	addrMu    sync.Mutex
 	boundAddr net.Addr
 	ready     chan struct{} // closed once Run is listening
@@ -326,6 +331,14 @@ func New(cfg Config) (*Server, error) {
 		"Sharded analyze requests, by routing outcome (local, forwarded, failover).", "outcome")
 	s.admissionRejch = reg.CounterVec("eventlensd_admission_rejected_total",
 		"Requests rejected with 429 by admission control, by site (sync, jobs).", "site")
+	s.validateRuns = reg.Counter("eventlensd_validate_runs_total",
+		"Event-trust validation runs executed (cache and store hits excluded).")
+	s.validateVerdicts = reg.CounterVec("eventlensd_validate_verdicts_total",
+		"Event-trust verdicts assigned by validation runs, by verdict.", "verdict")
+	s.minimalRuns = reg.Counter("eventlensd_minimal_kernel_collections_total",
+		"Collection passes that ran with minimal spanning kernel selection.")
+	s.minimalPruned = reg.Counter("eventlensd_minimal_kernels_pruned_total",
+		"Kernel points skipped by minimal spanning selection, summed over collections.")
 	reg.GaugeFunc("eventlensd_store_entries",
 		"Entries currently in the persistent result store.", func() int64 {
 			if s.store == nil {
@@ -347,6 +360,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/events/validate", s.handleValidate)
 	mux.HandleFunc("POST /v1/metrics/define", s.handleDefine)
 	mux.HandleFunc("POST /v1/events/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/presets/{benchmark}", s.handlePresets)

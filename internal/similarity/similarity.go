@@ -1,0 +1,372 @@
+// Package similarity clusters computational kernels by the similarity of
+// their measurement vectors and selects a minimal spanning subset — the
+// redundancy analysis of "On Similarity of Computational Kernels in our Codes
+// and Proxies" and PerfSpect's similarity-analyzer, applied to the CAT
+// benchmark points so threshold sweeps can collect only kernels that add
+// information (DESIGN.md §14).
+//
+// The clustering itself is pairwise cosine over column-rescaled vectors; a
+// descriptive PCA (explained-variance spectrum of the kernel set) quantifies
+// how redundant the set is. Cosine rather than PCA drives the partition so
+// that two exact invariants hold, proven by the property tests:
+//
+//   - permutation invariance: reordering the kernels yields the same
+//     partition (as sets of kernels), bit for bit;
+//   - duplicate stability: appending a copy of an existing kernel never
+//     changes which kernels are selected.
+//
+// Both hold because every decision depends only on pairwise dot products of
+// individual rows (evaluated in feature order) and on per-column maxima,
+// neither of which is affected by row order or by duplicating a row.
+package similarity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// DefaultThreshold is the cosine similarity at or above which two kernels
+// count as redundant when Options.Threshold is unset.
+const DefaultThreshold = 0.9995
+
+// effectiveDimShare is the explained-variance share the leading principal
+// components must reach to count as the kernel set's effective dimension.
+const effectiveDimShare = 0.99
+
+// pcaMaxKernels bounds the descriptive PCA: beyond this many kernels the
+// O(n^3) eigensolve is skipped (Explained stays nil) rather than stalling
+// callers — the partition itself never needs it.
+const pcaMaxKernels = 512
+
+// Errors returned by Cluster for malformed inputs. All inputs either
+// classify or fail with one of these; Cluster never panics (fuzzed).
+var (
+	// ErrNoKernels is returned for an empty input.
+	ErrNoKernels = errors.New("similarity: no kernel vectors")
+	// ErrEmptyVector is returned when kernels have zero features.
+	ErrEmptyVector = errors.New("similarity: kernel vectors have no features")
+	// ErrRagged is returned when kernel vectors differ in length.
+	ErrRagged = errors.New("similarity: ragged kernel vectors")
+	// ErrNonFinite is returned when any entry is NaN or ±Inf.
+	ErrNonFinite = errors.New("similarity: non-finite value")
+	// ErrThreshold is returned for a threshold outside (0, 1].
+	ErrThreshold = errors.New("similarity: threshold must be in (0, 1]")
+)
+
+// Options configures Cluster.
+type Options struct {
+	// Threshold is the cosine similarity at or above which two kernels are
+	// considered redundant and share a cluster. Zero selects
+	// DefaultThreshold; values outside (0, 1] are rejected. Thresholds > 1
+	// are rejected rather than clamped because a threshold no cosine can
+	// reach would break duplicate stability (a copy of a kernel must always
+	// join its original's cluster, which needs cos=1 to qualify).
+	Threshold float64
+}
+
+// Result is a deterministic partition of the kernels plus the redundancy
+// spectrum.
+type Result struct {
+	// Clusters partitions the kernel indices: members ascending within each
+	// cluster, clusters ordered by their smallest member.
+	Clusters [][]int
+	// Assign maps each kernel index to its cluster's position in Clusters.
+	Assign []int
+	// Selected is the minimal spanning subset: the smallest kernel index of
+	// each cluster, ascending. Taking the smallest index (rather than, say,
+	// the cluster leader) is what makes appending a duplicate kernel a
+	// no-op for selection.
+	Selected []int
+	// Explained is the PCA explained-variance spectrum of the (column
+	// rescaled, centered) kernel set, descending. Nil when the set has no
+	// variance or exceeds pcaMaxKernels.
+	Explained []float64
+	// EffectiveDim is the number of leading principal components needed to
+	// reach 99% explained variance — a scalar summary of how redundant the
+	// kernel set is. Zero when Explained is nil.
+	EffectiveDim int
+}
+
+// Cluster partitions kernel measurement vectors into cosine-similarity
+// clusters and selects one representative per cluster. All decisions are
+// deterministic functions of the multiset of rows; see the package comment
+// for the invariants.
+func Cluster(vectors [][]float64, opts Options) (*Result, error) {
+	thr := opts.Threshold
+	if mat.IsZero(thr) {
+		thr = DefaultThreshold
+	}
+	if thr <= 0 || thr > 1 || math.IsNaN(thr) {
+		return nil, fmt.Errorf("%w, got %v", ErrThreshold, opts.Threshold)
+	}
+	n := len(vectors)
+	if n == 0 {
+		return nil, ErrNoKernels
+	}
+	f := len(vectors[0])
+	if f == 0 {
+		return nil, ErrEmptyVector
+	}
+	for i, v := range vectors {
+		if len(v) != f {
+			return nil, fmt.Errorf("%w: kernel %d has %d features, kernel 0 has %d", ErrRagged, i, len(v), f)
+		}
+		for j, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("%w at kernel %d feature %d: %v", ErrNonFinite, i, j, x)
+			}
+		}
+	}
+
+	rows := rescaleColumns(vectors)
+	order := canonicalOrder(rows)
+
+	// Leader clustering in canonical order: each kernel joins the first
+	// cluster whose leader (its canonically-first member) is within the
+	// threshold, else founds a new cluster. Canonical order makes the walk —
+	// and therefore the partition — independent of input order.
+	var leaders []int   // leader kernel index per cluster, creation order
+	var members [][]int // kernel indices per cluster, creation order
+	assign := make([]int, n)
+	for _, i := range order {
+		placed := -1
+		for c, leader := range leaders {
+			if cosine(rows[i], rows[leader]) >= thr {
+				placed = c
+				break
+			}
+		}
+		if placed < 0 {
+			placed = len(leaders)
+			leaders = append(leaders, i)
+			members = append(members, nil)
+		}
+		members[placed] = append(members[placed], i)
+		assign[i] = placed
+	}
+
+	res := &Result{Assign: assign}
+	for _, m := range members {
+		sort.Ints(m)
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a][0] < members[b][0] })
+	renumber := make([]int, len(members))
+	for _, m := range members {
+		res.Clusters = append(res.Clusters, m)
+		res.Selected = append(res.Selected, m[0])
+	}
+	// Remap Assign from creation order to the min-member order Clusters uses.
+	for c, m := range res.Clusters {
+		renumber[assign[m[0]]] = c
+	}
+	for i := range assign {
+		assign[i] = renumber[assign[i]]
+	}
+
+	if n <= pcaMaxKernels {
+		res.Explained = explainedVariance(rows, order)
+		res.EffectiveDim = effectiveDim(res.Explained)
+	}
+	return res, nil
+}
+
+// rescaleColumns divides every column by its maximum absolute value, mapping
+// each feature into [-1, 1] so no single high-magnitude event dominates the
+// cosine. The scale is a per-column maximum — computed with comparisons, no
+// accumulation — so it is exactly invariant under row permutation and under
+// duplicating a row.
+func rescaleColumns(vectors [][]float64) [][]float64 {
+	n, f := len(vectors), len(vectors[0])
+	scale := make([]float64, f)
+	for j := 0; j < f; j++ {
+		maxAbs := 0.0
+		for i := 0; i < n; i++ {
+			if a := math.Abs(vectors[i][j]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if mat.IsZero(maxAbs) {
+			scale[j] = 0 // all-zero column stays zero
+		} else {
+			scale[j] = 1 / maxAbs
+		}
+	}
+	rows := make([][]float64, n)
+	for i, v := range vectors {
+		r := make([]float64, f)
+		for j, x := range v {
+			r[j] = x * scale[j]
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// canonicalOrder returns kernel indices sorted by their rescaled rows
+// lexicographically, ties broken by original index. Ties imply bit-equal
+// rows (rescaling is a per-column scale, so distinct inputs stay distinct),
+// which is exactly the duplicate case the index tie-break keeps stable: an
+// appended copy sorts after its original and can never displace it as a
+// cluster leader.
+func canonicalOrder(rows [][]float64) []int {
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := rows[order[a]], rows[order[b]]
+		for j := range ra {
+			if ra[j] < rb[j] {
+				return true
+			}
+			if ra[j] > rb[j] {
+				return false
+			}
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// cosine returns the cosine similarity of two rows, evaluated in feature
+// order so the value depends only on the two rows. Two zero rows are
+// maximally similar (1); a zero row against a nonzero one is dissimilar (0).
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for j := range a {
+		dot += a[j] * b[j]
+		na += a[j] * a[j]
+		nb += b[j] * b[j]
+	}
+	if mat.IsZero(na) && mat.IsZero(nb) {
+		return 1
+	}
+	if mat.IsZero(na) || mat.IsZero(nb) {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// explainedVariance returns the descending explained-variance ratios of the
+// centered kernel set: the eigenvalue spectrum of the kernel Gram matrix,
+// accumulated in canonical row order so the (purely descriptive) spectrum is
+// also permutation invariant. Returns nil when the set has no variance.
+func explainedVariance(rows [][]float64, order []int) []float64 {
+	n, f := len(rows), len(rows[0])
+	mean := make([]float64, f)
+	for _, i := range order {
+		for j, x := range rows[i] {
+			mean[j] += x
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	centered := make([][]float64, n)
+	for k, i := range order {
+		c := make([]float64, f)
+		for j, x := range rows[i] {
+			c[j] = x - mean[j]
+		}
+		centered[k] = c
+	}
+	g := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		g[a] = make([]float64, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			var dot float64
+			for j := 0; j < f; j++ {
+				dot += centered[a][j] * centered[b][j]
+			}
+			g[a][b], g[b][a] = dot, dot
+		}
+	}
+	eig := jacobiEigenvalues(g)
+	total := 0.0
+	for i, v := range eig {
+		if v < 0 {
+			eig[i] = 0 // Gram matrices are PSD; clamp rounding residue
+		}
+		total += eig[i]
+	}
+	if mat.IsZero(total) {
+		return nil
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(eig)))
+	for i := range eig {
+		eig[i] /= total
+	}
+	return eig
+}
+
+// effectiveDim returns how many leading components reach effectiveDimShare.
+func effectiveDim(explained []float64) int {
+	sum := 0.0
+	for i, v := range explained {
+		sum += v
+		if sum >= effectiveDimShare {
+			return i + 1
+		}
+	}
+	return len(explained)
+}
+
+// jacobiEigenvalues returns the eigenvalues of a symmetric matrix via cyclic
+// Jacobi rotations — deterministic (fixed sweep order, no pivot search) and
+// ample for the descriptive spectrum. The matrix is destroyed.
+func jacobiEigenvalues(a [][]float64) []float64 {
+	n := len(a)
+	frob := 0.0
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			frob += a[p][q] * a[p][q]
+		}
+	}
+	for sweep := 0; sweep < 50; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += a[p][q] * a[p][q]
+			}
+		}
+		if off <= 1e-24*frob || mat.IsZero(off) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p][q]
+				if mat.IsZero(apq) {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+			}
+		}
+	}
+	eig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = a[i][i]
+	}
+	return eig
+}

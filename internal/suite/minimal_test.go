@@ -1,0 +1,122 @@
+package suite
+
+import (
+	"context"
+	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/cat"
+	"github.com/perfmetrics/eventlens/internal/core"
+)
+
+// TestMinimalKernelsPreservesAnalysis is the acceptance test for spanning
+// kernel selection: under cfg.MinimalKernels every benchmark must measure
+// strictly fewer points than the full sweep for at least one benchmark,
+// analysis over the reduced set must succeed, and the composability verdict
+// of every metric definition must match the full-sweep verdict at the
+// documented threshold (1e-6).
+func TestMinimalKernelsPreservesAnalysis(t *testing.T) {
+	reducedSomewhere := false
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			full, err := b.Collect(context.Background(), b.DefaultRun)
+			if err != nil {
+				t.Fatalf("full collect: %v", err)
+			}
+			min := b.DefaultRun
+			min.MinimalKernels = true
+			reduced, err := b.Collect(context.Background(), min)
+			if err != nil {
+				t.Fatalf("minimal collect: %v", err)
+			}
+			t.Logf("%s: %d points full, %d minimal", b.Name, len(full.PointNames), len(reduced.PointNames))
+			if len(reduced.PointNames) > len(full.PointNames) {
+				t.Fatalf("minimal set has more points (%d) than full (%d)", len(reduced.PointNames), len(full.PointNames))
+			}
+			if len(reduced.PointNames) < len(full.PointNames) {
+				reducedSomewhere = true
+			}
+			fullRes, err := b.AnalyzeSet(context.Background(), full, b.Config)
+			if err != nil {
+				t.Fatalf("full analyze: %v", err)
+			}
+			redRes, err := b.AnalyzeSet(context.Background(), reduced, b.Config)
+			if err != nil {
+				t.Fatalf("minimal analyze: %v", err)
+			}
+			fullDefs, err := fullRes.DefineMetrics(b.Signatures)
+			if err != nil {
+				t.Fatalf("full define: %v", err)
+			}
+			redDefs, err := redRes.DefineMetrics(b.Signatures)
+			if err != nil {
+				t.Fatalf("minimal define: %v", err)
+			}
+			if len(fullDefs) != len(redDefs) {
+				t.Fatalf("definition count differs: full %d, minimal %d", len(fullDefs), len(redDefs))
+			}
+			for i, fd := range fullDefs {
+				rd := redDefs[i]
+				if fd.Metric != rd.Metric {
+					t.Fatalf("metric order differs: %q vs %q", fd.Metric, rd.Metric)
+				}
+				const tol = 1e-6
+				if fd.Composable(tol) != rd.Composable(tol) {
+					t.Errorf("%s: composability flipped under minimal kernels (full err %.3g, minimal err %.3g)",
+						fd.Metric, fd.BackwardError, rd.BackwardError)
+				}
+			}
+		})
+	}
+	if !reducedSomewhere {
+		t.Errorf("MinimalKernels reduced no benchmark's point count; spanning selection is a no-op")
+	}
+}
+
+// TestMinimalKernelsCacheKey pins that MinimalKernels enters the RunConfig
+// string (and hence every cache/store/shard key) only when set, so reduced
+// and full collections can never alias in the serving tier.
+func TestMinimalKernelsCacheKey(t *testing.T) {
+	base := cat.DefaultRunConfig()
+	min := base
+	min.MinimalKernels = true
+	if base.String() == min.String() {
+		t.Fatalf("RunConfig string does not distinguish MinimalKernels: %q", base.String())
+	}
+}
+
+// TestBasisForSubset pins BasisFor: full sets get the full basis, reduced
+// sets the matching row subset, unknown points an error.
+func TestBasisForSubset(t *testing.T) {
+	b, err := ByName("cpu-flops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := b.Basis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := core.NewMeasurementSet("cpu-flops", "spr", full.PointNames)
+	got, err := b.BasisFor(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != full && got.Points() != full.Points() {
+		t.Fatalf("full set should map to the full basis")
+	}
+	sub := core.NewMeasurementSet("cpu-flops", "spr", full.PointNames[:len(full.PointNames)/2])
+	if len(sub.PointNames) < full.Dim() {
+		t.Skipf("subset smaller than basis dimension; adjust test")
+	}
+	rb, err := b.BasisFor(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Points() != len(sub.PointNames) {
+		t.Fatalf("reduced basis has %d points, want %d", rb.Points(), len(sub.PointNames))
+	}
+	bad := core.NewMeasurementSet("cpu-flops", "spr", []string{"no-such-point"})
+	if _, err := b.BasisFor(bad); err == nil {
+		t.Fatalf("BasisFor accepted an unknown point name")
+	}
+}

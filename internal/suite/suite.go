@@ -31,6 +31,12 @@ type Benchmark struct {
 	Basis func() (*core.Basis, error)
 	// Run collects measurements.
 	Run func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error)
+	// GroundTruth returns the per-thread ground-truth statistics behind the
+	// benchmark's full point set under cfg — the known-exact kernel behavior
+	// the event-trust validator scores documented event semantics against.
+	// Benchmarks whose points are thread-independent return a single slice;
+	// cfg.MinimalKernels is ignored (ground truth always covers every point).
+	GroundTruth func(cfg cat.RunConfig) ([][]machine.Stats, error)
 	// Config holds the analysis thresholds for this benchmark.
 	Config core.Config
 	// Signatures are the metric signatures to define.
@@ -55,6 +61,9 @@ func All() []Benchmark {
 			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
 				return cat.NewFlopsCPU().Run(p, cfg)
 			},
+			GroundTruth: func(cat.RunConfig) ([][]machine.Stats, error) {
+				return [][]machine.Stats{cat.NewFlopsCPU().GroundTruth()}, nil
+			},
 			Config:       core.DefaultConfig(),
 			Signatures:   core.CPUFlopsSignatures(),
 			BasisSymbols: core.CPUFlopsBasisSymbols(),
@@ -70,6 +79,13 @@ func All() []Benchmark {
 			Basis:          func() (*core.Basis, error) { return cat.NewFlopsGPU().Basis() },
 			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
 				return cat.NewFlopsGPU().Run(p, cfg)
+			},
+			GroundTruth: func(cat.RunConfig) ([][]machine.Stats, error) {
+				points, err := cat.NewFlopsGPU().GroundTruth()
+				if err != nil {
+					return nil, err
+				}
+				return [][]machine.Stats{points}, nil
 			},
 			Config:       core.DefaultConfig(),
 			Signatures:   core.GPUFlopsSignatures(),
@@ -87,6 +103,13 @@ func All() []Benchmark {
 			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
 				return cat.NewBranch().Run(p, cfg)
 			},
+			GroundTruth: func(cat.RunConfig) ([][]machine.Stats, error) {
+				points, err := cat.NewBranch().GroundTruth()
+				if err != nil {
+					return nil, err
+				}
+				return [][]machine.Stats{points}, nil
+			},
 			Config:       core.DefaultConfig(),
 			Signatures:   core.BranchSignatures(),
 			BasisSymbols: core.BranchBasisSymbols(),
@@ -102,6 +125,9 @@ func All() []Benchmark {
 			Basis:          func() (*core.Basis, error) { return cat.NewDCache().Basis() },
 			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
 				return cat.NewDCache().Run(p, cfg)
+			},
+			GroundTruth: func(cfg cat.RunConfig) ([][]machine.Stats, error) {
+				return cat.NewDCache().GroundTruthAll(cfg)
 			},
 			Config:       core.CacheConfig(),
 			Signatures:   core.CacheSignatures(),
@@ -178,10 +204,36 @@ func (b Benchmark) AnalyzeSet(ctx context.Context, set *core.MeasurementSet, ana
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	basis, err := b.Basis()
+	basis, err := b.BasisFor(set)
 	if err != nil {
 		return nil, err
 	}
 	pipe := &core.Pipeline{Basis: basis, Config: analysis}
 	return pipe.AnalyzeContext(ctx, set)
+}
+
+// BasisFor returns the expectation basis matching a measurement set: the
+// full basis when the set covers every benchmark point, or the row subset
+// matching the set's points when it was collected under MinimalKernels (or
+// loaded from a file covering fewer points). Every consumer that pairs a
+// basis with a set — analysis, explain, the CLIs — goes through this, so
+// reduced sets never silently misalign with full bases.
+func (b Benchmark) BasisFor(set *core.MeasurementSet) (*core.Basis, error) {
+	basis, err := b.Basis()
+	if err != nil {
+		return nil, err
+	}
+	if len(set.PointNames) == len(basis.PointNames) {
+		same := true
+		for i, n := range set.PointNames {
+			if basis.PointNames[i] != n {
+				same = false
+				break
+			}
+		}
+		if same {
+			return basis, nil
+		}
+	}
+	return basis.SelectPoints(set.PointNames)
 }

@@ -1,0 +1,570 @@
+// Package validate implements event-trust validation (DESIGN.md §14): every
+// event in a platform's catalog is scored against its *documented* semantics
+// using the CAT benchmarks' known-exact kernels as ground truth. The measured
+// per-point counts are compared with the counts the vendor documentation
+// (EventDef.Doc) predicts, and each event receives a trust verdict with the
+// evidence behind it — the proportionality scale, the residual of the fit,
+// and the run-to-run noise level.
+//
+// The verdict taxonomy, in decision order:
+//
+//	noisy   — run-to-run variability (max MaxRNMSE over the benchmarks)
+//	          exceeds NoisyTau; the counts cannot be trusted regardless of
+//	          what they correlate with.
+//	valid   — documented and measured counts agree: the fit residual is
+//	          within FitTol and the proportionality scale is within ScaleTol
+//	          of 1. Undetectable events (documented to count nothing the
+//	          kernels exercise, and counting nothing) are valid too.
+//	scaled  — the measurement is an excellent linear fit to the documented
+//	          counts but at a scale off by more than ScaleTol (a counter
+//	          ticking per-uop where the manual says per-instruction, a
+//	          double-counted FMA, a unit prescaler).
+//	derived — the measurement correlates with the documentation directionally
+//	          (cosine >= DerivedCos) without fitting it, or the event is
+//	          undocumented but counts something real.
+//	bogus   — the measurement bears no resemblance to the documentation:
+//	          documented to count but counting nothing, counting despite a
+//	          documentation that predicts silence, or pointing somewhere
+//	          entirely different.
+//
+// Like every analysis in this repository the validator is deterministic:
+// reports are byte-identical across worker counts and across the CLI and the
+// daemon (see Envelope).
+package validate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/fault"
+	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/mat"
+	"github.com/perfmetrics/eventlens/internal/suite"
+)
+
+// ErrAllDegraded reports a fault-injected validation that lost every
+// benchmark: there is no partial report to degrade to. Servers map it to 503
+// (the daemon is injecting faults, not the client misbehaving).
+var ErrAllDegraded = errors.New("validate: every benchmark degraded under fault injection")
+
+// Verdicts, in report order.
+const (
+	VerdictValid   = "valid"
+	VerdictScaled  = "scaled"
+	VerdictDerived = "derived"
+	VerdictNoisy   = "noisy"
+	VerdictBogus   = "bogus"
+)
+
+// VerdictOrder lists the verdicts in canonical report order.
+func VerdictOrder() []string {
+	return []string{VerdictValid, VerdictScaled, VerdictDerived, VerdictNoisy, VerdictBogus}
+}
+
+// Tolerances are the thresholds of the trust decision tree.
+type Tolerances struct {
+	// NoisyTau is the MaxRNMSE above which an event is noisy (mirrors the
+	// analysis pipeline's noise filter, but against the validator's runs).
+	NoisyTau float64 `json:"noisy_tau"`
+	// FitTol is the maximum relative residual ||m - s*d|| / ||m|| for the
+	// measurement to count as a linear fit of the documentation.
+	FitTol float64 `json:"fit_tol"`
+	// ScaleTol bounds |s - 1| for a fitting event to count as valid rather
+	// than scaled.
+	ScaleTol float64 `json:"scale_tol"`
+	// DerivedCos is the minimum cosine between measured and documented
+	// vectors for a non-fitting event to count as derived rather than bogus.
+	DerivedCos float64 `json:"derived_cos"`
+}
+
+// DefaultTolerances returns the documented defaults. FitTol sits well above
+// the noise floor a 5-rep mean leaves on legitimately noisy-but-valid events,
+// and well below the distance to any genuinely mis-documented catalog entry.
+func DefaultTolerances() Tolerances {
+	return Tolerances{NoisyTau: 1e-1, FitTol: 5e-2, ScaleTol: 1e-2, DerivedCos: 0.5}
+}
+
+// Validate checks the thresholds are usable.
+func (t Tolerances) Validate() error {
+	if t.NoisyTau <= 0 || t.FitTol <= 0 || t.ScaleTol <= 0 {
+		return fmt.Errorf("validate: tolerances must be > 0 (noisy_tau %g, fit_tol %g, scale_tol %g)",
+			t.NoisyTau, t.FitTol, t.ScaleTol)
+	}
+	if t.DerivedCos <= 0 || t.DerivedCos > 1 {
+		return fmt.Errorf("validate: derived_cos must be in (0, 1], got %g", t.DerivedCos)
+	}
+	return nil
+}
+
+// String renders the tolerances canonically for cache keys.
+func (t Tolerances) String() string {
+	return fmt.Sprintf("noisy=%g,fit=%g,scale=%g,cos=%g", t.NoisyTau, t.FitTol, t.ScaleTol, t.DerivedCos)
+}
+
+// Request selects what to validate. Its JSON form is the /v1/events/validate
+// payload.
+type Request struct {
+	// Platform is the catalog to validate: "spr" or "mi250x" (the -sim
+	// suffixed platform names are accepted too).
+	Platform string `json:"platform"`
+	// Benchmarks optionally restricts the ground-truth benchmarks consulted;
+	// empty means every suite benchmark of the platform.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Workers bounds the collection worker pool (0 = GOMAXPROCS, 1 = serial).
+	// Like everywhere else it cannot change results and is excluded from Key.
+	Workers int `json:"workers,omitempty"`
+	// Faults optionally injects deterministic collection faults (a fault.Spec
+	// string). Benchmarks whose collection faults out degrade into the
+	// report's Degraded list instead of failing the validation.
+	Faults string `json:"faults,omitempty"`
+	// Tolerances overrides the decision thresholds; nil uses the defaults.
+	Tolerances *Tolerances `json:"tolerances,omitempty"`
+}
+
+// platformAliases canonicalizes the user-facing platform spellings.
+var platformAliases = map[string]string{
+	"spr":        "spr-sim",
+	"spr-sim":    "spr-sim",
+	"mi250x":     "mi250x-sim",
+	"mi250x-sim": "mi250x-sim",
+}
+
+// CanonicalPlatform resolves a platform spelling to its canonical simulator
+// name, erroring on platforms the validator does not cover.
+func CanonicalPlatform(name string) (string, error) {
+	if canon, ok := platformAliases[name]; ok {
+		return canon, nil
+	}
+	return "", fmt.Errorf("validate: unknown platform %q (have spr, mi250x)", name)
+}
+
+// resolved is a validated request: canonical platform, registry-ordered
+// benchmarks, effective tolerances.
+type resolved struct {
+	platform string
+	benches  []suite.Benchmark
+	tol      Tolerances
+	workers  int
+	faults   string
+}
+
+// resolve validates a request and fills defaults. The benchmark list comes
+// back deduplicated in suite-registry order, so equal requests in any
+// spelling share one canonical identity.
+func (r Request) resolve() (resolved, error) {
+	platform, err := CanonicalPlatform(r.Platform)
+	if err != nil {
+		return resolved{}, err
+	}
+	if r.Workers < 0 {
+		return resolved{}, fmt.Errorf("validate: workers must be >= 0 (0 means GOMAXPROCS), got %d", r.Workers)
+	}
+	if r.Faults != "" {
+		if _, err := fault.ParseSpec(r.Faults); err != nil {
+			return resolved{}, fmt.Errorf("validate: bad faults spec: %v", err)
+		}
+	}
+	tol := DefaultTolerances()
+	if r.Tolerances != nil {
+		tol = *r.Tolerances
+	}
+	if err := tol.Validate(); err != nil {
+		return resolved{}, err
+	}
+	requested := make(map[string]bool, len(r.Benchmarks))
+	for _, name := range r.Benchmarks {
+		b, err := suite.ByName(name)
+		if err != nil {
+			return resolved{}, err
+		}
+		p, err := b.NewPlatform()
+		if err != nil {
+			return resolved{}, err
+		}
+		if p.Name != platform {
+			return resolved{}, fmt.Errorf("validate: benchmark %q runs on %s, not %s", name, p.Name, platform)
+		}
+		requested[name] = true
+	}
+	var benches []suite.Benchmark
+	for _, b := range suite.All() {
+		p, err := b.NewPlatform()
+		if err != nil {
+			return resolved{}, err
+		}
+		if p.Name != platform {
+			continue
+		}
+		if len(requested) > 0 && !requested[b.Name] {
+			continue
+		}
+		benches = append(benches, b)
+	}
+	if len(benches) == 0 {
+		return resolved{}, fmt.Errorf("validate: no benchmarks selected for platform %s", platform)
+	}
+	return resolved{platform: platform, benches: benches, tol: tol, workers: r.Workers, faults: r.Faults}, nil
+}
+
+// Validate checks the request without running it.
+func (r Request) Validate() error {
+	_, err := r.resolve()
+	return err
+}
+
+// Key is the canonical cache/store/shard identity of a validation: equal
+// keys mean byte-identical reports. Workers is excluded — it cannot change
+// results — while Faults and non-default tolerances are included, mirroring
+// cat.RunConfig.String.
+func (r Request) Key() (string, error) {
+	res, err := r.resolve()
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, len(res.benches))
+	for i, b := range res.benches {
+		names[i] = b.Name
+	}
+	key := fmt.Sprintf("%s|%s|%s", res.platform, strings.Join(names, ","), res.tol)
+	if res.faults != "" {
+		if spec, err := fault.ParseSpec(res.faults); err == nil {
+			return key + "|faults=" + spec.String(), nil
+		}
+		return key + "|faults=" + res.faults, nil
+	}
+	return key, nil
+}
+
+// EventTrust is one event's verdict with its evidence.
+type EventTrust struct {
+	Event      string `json:"event"`
+	Verdict    string `json:"verdict"`
+	Documented bool   `json:"documented"`
+	// Noise is the worst MaxRNMSE the event showed on any benchmark.
+	Noise float64 `json:"noise"`
+	// Scale is the least-squares proportionality factor between measured and
+	// documented counts (1 for a perfectly valid event; 0 when undefined).
+	Scale float64 `json:"scale"`
+	// FitRNMSE is the relative residual of the scaled fit, ||m - s*d||/||m||.
+	FitRNMSE float64 `json:"fit_rnmse"`
+	// Cosine is the angle between measured and documented vectors.
+	Cosine float64 `json:"cosine"`
+	// MeanMeasured and MeanExpected summarize the two vectors for the report.
+	MeanMeasured float64 `json:"mean_measured"`
+	MeanExpected float64 `json:"mean_expected"`
+}
+
+// DegradedBenchmark records a benchmark whose collection faulted out under
+// injection; the validation proceeded without it.
+type DegradedBenchmark struct {
+	Benchmark string `json:"benchmark"`
+	Error     string `json:"error"`
+}
+
+// Report is the full trust report for one platform.
+type Report struct {
+	Platform string `json:"platform"`
+	// Benchmarks lists the ground-truth benchmarks consulted (those that
+	// degraded under fault injection appear in Degraded instead).
+	Benchmarks []string `json:"benchmarks"`
+	// Points is the total number of concatenated benchmark points behind
+	// each event's vectors.
+	Points     int            `json:"points"`
+	Tolerances Tolerances     `json:"tolerances"`
+	Counts     map[string]int `json:"counts"`
+	Events     []EventTrust   `json:"events"`
+	// Dropped lists events (catalog order) with no surviving measurements —
+	// dropped by fault injection from every benchmark that ran. They carry
+	// no verdict.
+	Dropped []string `json:"dropped,omitempty"`
+	// Degraded lists benchmarks lost wholesale to fault injection.
+	Degraded []DegradedBenchmark `json:"degraded,omitempty"`
+}
+
+// Run executes the validation: collects each selected benchmark, reduces
+// measured and documented counts to per-event vectors over the benchmark
+// points, and classifies every catalog event. The report is a pure function
+// of the request's Key — worker counts never change a byte.
+func Run(ctx context.Context, req Request) (*Report, error) {
+	res, err := req.resolve()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		Platform:   res.platform,
+		Benchmarks: []string{},
+		Tolerances: res.tol,
+		Counts:     make(map[string]int),
+	}
+	var catalog *machine.Catalog
+	// Per-event accumulated evidence across benchmarks.
+	measured := make(map[string][]float64) // concatenated mean measured counts
+	expected := make(map[string][]float64) // concatenated documented counts
+	noise := make(map[string]float64)      // worst MaxRNMSE on any benchmark
+	covered := make(map[string]bool)       // measured on at least one benchmark
+	for _, b := range res.benches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p, err := b.NewPlatform()
+		if err != nil {
+			return nil, err
+		}
+		if catalog == nil {
+			catalog = p.Catalog
+		}
+		cfg := b.DefaultRun
+		cfg.Workers = res.workers
+		cfg.Faults = res.faults
+		set, err := b.Run(p, cfg)
+		if err != nil {
+			// Under fault injection a benchmark whose collection cannot
+			// complete — a hard fault, or every event dropped — degrades
+			// into the report instead of failing the whole validation.
+			// Without injection there is nothing to degrade gracefully from.
+			if res.faults != "" {
+				report.Degraded = append(report.Degraded, DegradedBenchmark{Benchmark: b.Name, Error: err.Error()})
+				continue
+			}
+			return nil, err
+		}
+		perThread, err := b.GroundTruth(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, b.Name)
+		report.Points += len(set.PointNames)
+		nPoints := len(set.PointNames)
+		for _, name := range set.Order {
+			reps := set.RepVectors(name)
+			if v := core.MaxRNMSE(reps); v > noise[name] {
+				noise[name] = v
+			}
+			measured[name] = append(measured[name], core.MeanVector(reps)...)
+			covered[name] = true
+		}
+		// Documented expectations for every catalog event — including ones
+		// dropped from this set — reduced across threads exactly like the
+		// measurements (per-point median).
+		for _, name := range catalog.Names() {
+			def, ok := p.Catalog.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("validate: platform %s lost event %q", p.Name, name)
+			}
+			if _, present := set.Events[name]; !present {
+				continue
+			}
+			docVecs := make([][]float64, len(perThread))
+			for t, stats := range perThread {
+				vec := make([]float64, nPoints)
+				for pi := range vec {
+					vec[pi], _ = def.DocExpectation(stats[pi])
+				}
+				docVecs[t] = vec
+			}
+			expected[name] = append(expected[name], core.MedianOverThreads(docVecs)...)
+		}
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%w (%d lost)", ErrAllDegraded, len(report.Degraded))
+	}
+	for _, name := range catalog.Names() {
+		if !covered[name] {
+			report.Dropped = append(report.Dropped, name)
+			continue
+		}
+		def, _ := catalog.Lookup(name)
+		trust := classify(res.tol, def.Doc != nil, noise[name], measured[name], expected[name])
+		trust.Event = name
+		report.Counts[trust.Verdict]++
+		report.Events = append(report.Events, trust)
+	}
+	return report, nil
+}
+
+// classify walks the trust decision tree for one event.
+func classify(tol Tolerances, documented bool, noiseLevel float64, m, d []float64) EventTrust {
+	t := EventTrust{
+		Documented:   documented,
+		Noise:        noiseLevel,
+		Cosine:       cosine(m, d),
+		MeanMeasured: mat.Mean(m),
+		MeanExpected: mat.Mean(d),
+	}
+	if noiseLevel > tol.NoisyTau {
+		t.Verdict = VerdictNoisy
+		return t
+	}
+	if !documented {
+		if allZero(m) {
+			t.Verdict = VerdictBogus
+		} else {
+			t.Verdict = VerdictDerived
+		}
+		return t
+	}
+	dd := dot(d, d)
+	if mat.IsZero(dd) {
+		// Documented to count nothing these kernels exercise.
+		if allZero(m) {
+			t.Verdict = VerdictValid
+		} else {
+			t.Verdict = VerdictBogus
+		}
+		return t
+	}
+	if allZero(m) {
+		// Documented to count, counting nothing.
+		t.Verdict = VerdictBogus
+		return t
+	}
+	t.Scale = dot(m, d) / dd
+	t.FitRNMSE = fitResidual(m, d, t.Scale)
+	if t.FitRNMSE <= tol.FitTol {
+		if math.Abs(t.Scale-1) <= tol.ScaleTol {
+			t.Verdict = VerdictValid
+		} else {
+			t.Verdict = VerdictScaled
+		}
+		return t
+	}
+	if t.Cosine >= tol.DerivedCos {
+		t.Verdict = VerdictDerived
+	} else {
+		t.Verdict = VerdictBogus
+	}
+	return t
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func allZero(a []float64) bool {
+	for _, v := range a {
+		if !mat.IsZero(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// cosine is the angle between two vectors; two zero vectors are identical
+// (1), a zero against a non-zero is orthogonal (0).
+func cosine(a, b []float64) float64 {
+	na, nb := norm(a), norm(b)
+	if mat.IsZero(na) && mat.IsZero(nb) {
+		return 1
+	}
+	if mat.IsZero(na) || mat.IsZero(nb) {
+		return 0
+	}
+	return dot(a, b) / (na * nb)
+}
+
+// fitResidual is the relative residual of the scaled documentation fit:
+// ||m - s*d|| / ||m||.
+func fitResidual(m, d []float64, s float64) float64 {
+	var sum float64
+	for i := range m {
+		r := m[i] - s*d[i]
+		sum += r * r
+	}
+	return math.Sqrt(sum) / norm(m)
+}
+
+// Format renders the report as the human-readable text the validate CLI
+// prints — and that the daemon embeds in its JSON envelope, so both front
+// ends emit byte-identical text.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "event-trust validation: %s (benchmarks %s; %d points)\n",
+		r.Platform, strings.Join(r.Benchmarks, ", "), r.Points)
+	fmt.Fprintf(&b, "tolerances: noisy-tau %.0e, fit %.0e, scale %.0e, derived-cos %.2f\n",
+		r.Tolerances.NoisyTau, r.Tolerances.FitTol, r.Tolerances.ScaleTol, r.Tolerances.DerivedCos)
+	b.WriteString("verdicts:")
+	first := true
+	for _, v := range VerdictOrder() {
+		if n := r.Counts[v]; n > 0 {
+			if !first {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " %d %s", n, v)
+			first = false
+		}
+	}
+	b.WriteString("\n\n")
+	width := 0
+	for _, e := range r.Events {
+		if len(e.Event) > width {
+			width = len(e.Event)
+		}
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "  %-7s  %-*s", strings.ToUpper(e.Verdict), width, e.Event)
+		switch e.Verdict {
+		case VerdictNoisy:
+			fmt.Fprintf(&b, "  noise %.2e", e.Noise)
+		case VerdictValid, VerdictScaled:
+			fmt.Fprintf(&b, "  scale %.4f  fit %.1e", e.Scale, e.FitRNMSE)
+		case VerdictDerived:
+			if e.Documented {
+				fmt.Fprintf(&b, "  cos %.3f  fit %.1e", e.Cosine, e.FitRNMSE)
+			} else {
+				fmt.Fprintf(&b, "  undocumented  mean %.3g", e.MeanMeasured)
+			}
+		case VerdictBogus:
+			fmt.Fprintf(&b, "  expected mean %.3g, measured mean %.3g", e.MeanExpected, e.MeanMeasured)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Degraded) > 0 {
+		b.WriteString("\ndegraded benchmarks (fault injection):\n")
+		for _, d := range r.Degraded {
+			fmt.Fprintf(&b, "  %s: %s\n", d.Benchmark, d.Error)
+		}
+	}
+	if len(r.Dropped) > 0 {
+		b.WriteString("\ndropped events (no surviving measurements):\n")
+		for _, name := range r.Dropped {
+			fmt.Fprintf(&b, "  %s\n", name)
+		}
+	}
+	return b.String()
+}
+
+// Envelope is the canonical JSON shape of a validation: the report fields
+// plus the rendered text, so API consumers get both without a second
+// request. CanonicalJSON of the envelope is what the daemon stores and
+// serves, and what `validate -json` prints — byte-identical by construction.
+type Envelope struct {
+	*Report
+	// Text is the Format() rendering.
+	Text string `json:"report"`
+}
+
+// NewEnvelope wraps a report with its rendered text.
+func NewEnvelope(r *Report) Envelope { return Envelope{Report: r, Text: r.Format()} }
+
+// CanonicalJSON renders the envelope exactly as the daemon serves it:
+// two-space indent, trailing newline. (encoding/json sorts map keys, so the
+// Counts map marshals deterministically.)
+func (e Envelope) CanonicalJSON() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(e)
+	return buf.Bytes()
+}
