@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race lint verify validate chaos cluster fuzz cover golden bench bench-guard profile clean
+.PHONY: build test race lint lint-selftest lint-guard verify validate chaos cluster fuzz cover golden bench bench-guard profile clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,27 @@ race:
 # See DESIGN.md §10 and TESTING.md.
 lint:
 	$(GO) run ./cmd/lint ./...
+
+# Self-test: the gate must still FAIL on the seeded fixture violations under
+# cmd/lint/testdata/src — a lint run that cannot find the planted bugs is
+# broken, not clean. Expects one finding per analyzer plus goraw's _test.go
+# seed (see cmd/lint/main_test.go fixtureFindings).
+lint-selftest:
+	@out=$$(cd cmd/lint && $(GO) run . -allow none \
+		testdata/src/cachekey testdata/src/errsink testdata/src/floateq \
+		testdata/src/goraw testdata/src/internal/core testdata/src/lockbyvalue \
+		testdata/src/maporder testdata/src/seedcoord 2>&1); \
+	if [ $$? -eq 0 ]; then echo "lint-selftest: fixture run passed, want findings"; exit 1; fi; \
+	echo "$$out" | grep -q '9 finding(s)' || { echo "lint-selftest: expected 9 findings, got:"; echo "$$out"; exit 1; }; \
+	echo "lint-selftest: all 8 analyzers fire on the seeded fixtures"
+
+# Timing guard: a full repo-wide lint run (all analyzers, test files
+# included) must stay within 2x the committed BENCH_9.json wall-time
+# baseline, so the gate cannot quietly become the slowest part of CI.
+lint-guard:
+	@start=$$(date +%s%N); $(GO) run ./cmd/lint ./... >/dev/null; end=$$(date +%s%N); \
+	echo "BenchmarkLintRepoWide 1 $$((end - start)) ns/op" | \
+		$(GO) run ./cmd/benchjson -guard BENCH_9.json -guard-name BenchmarkLintRepoWide -guard-factor 2
 
 # Differential + metamorphic verification against the independent oracles in
 # internal/oracle, plus the golden-snapshot existence check, preceded by the

@@ -7,15 +7,24 @@
 //	lint ./...                     (whole module — what CI runs)
 //	lint internal/core cmd/serve   (specific package directories)
 //	lint -run maporder,floateq ./...
+//	lint -tests=false ./...        (skip _test.go coverage)
+//	lint -json ./...               (machine-readable findings for CI)
 //	lint -list                     (describe the analyzer set)
 //
 // Findings print as `file:line: analyzer: message` with paths relative to
-// the module root, and any finding makes the command exit 1. Vetted
-// exceptions live in lint.allow at the module root (see TESTING.md); stale
-// allowlist entries are themselves errors, so the file cannot rot.
+// the module root, and any finding makes the command exit 1. With -json the
+// same findings are emitted as a JSON document for CI annotation. Vetted
+// exceptions live in lint.allow at the module root (see TESTING.md); every
+// entry must be position-exact and carry a reason, and stale entries are
+// themselves errors, so the file cannot rot.
+//
+// Packages are typechecked once into a process-shared cache and the
+// (package, analyzer) passes then fan out through internal/par — the same
+// deterministic pool the gate itself enforces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,20 +40,54 @@ func main() {
 	cli.Main("lint", run)
 }
 
+// jsonFinding is the machine-readable diagnostic shape emitted by -json.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonStale is a stale allowlist entry in the -json document.
+type jsonStale struct {
+	AllowFile  string `json:"allow_file"`
+	SourceLine int    `json:"source_line"`
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+}
+
+// jsonDoc is the -json output document.
+type jsonDoc struct {
+	Findings []jsonFinding `json:"findings"`
+	Stale    []jsonStale   `json:"stale"`
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	allowFlag := fs.String("allow", "", "allowlist file (default: lint.allow at the module root, if present; 'none' disables)")
 	runFlag := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	tests := fs.Bool("tests", true, "also lint _test.go files with the test-aware analyzers")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (for CI annotation)")
+	workers := fs.Int("workers", 0, "analyzer worker pool size (0 = GOMAXPROCS)")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return cli.Usagef("-workers must be >= 0 (0 means GOMAXPROCS), got %d", *workers)
 	}
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			mode := ""
+			if a.TestFiles {
+				mode = " [tests]"
+			}
+			fmt.Fprintf(stdout, "%-12s %s%s\n", a.Name, a.Doc, mode)
 		}
 		return nil
 	}
@@ -64,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	loader, err := lint.NewLoader(root)
+	loader, err := lint.SharedLoader(root)
 	if err != nil {
 		return err
 	}
@@ -90,8 +133,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			pkgs = append(pkgs, pkg)
 		}
 	}
+	if *tests {
+		base := pkgs
+		for _, pkg := range base {
+			testPkgs, err := loader.LoadDirTests(pkg.Dir)
+			if err != nil {
+				return err
+			}
+			pkgs = append(pkgs, testPkgs...)
+		}
+	}
 
-	diags := lint.Run(pkgs, analyzers)
+	diags := lint.RunWorkers(pkgs, analyzers, *workers)
 
 	rel := func(file string) string {
 		r, err := filepath.Rel(root, file)
@@ -118,16 +171,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		known := make(map[string]bool)
+		for _, a := range lint.All() {
+			known[a.Name] = true
+		}
+		for _, e := range allow.Entries {
+			if !known[e.Analyzer] {
+				return fmt.Errorf("%s:%d: unknown analyzer %q in allowlist entry", rel(allowPath), e.SourceLine, e.Analyzer)
+			}
+		}
 		allowName = rel(allowPath)
 		diags, stale = allow.Filter(diags, rel)
 	}
 
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
-	}
-	for _, e := range stale {
-		fmt.Fprintf(stdout, "%s:%d: stale allowlist entry %s %s:%d matches no finding; delete it\n",
-			allowName, e.SourceLine, e.Analyzer, e.File, e.Line)
+	if *jsonOut {
+		doc := jsonDoc{Findings: []jsonFinding{}, Stale: []jsonStale{}}
+		for _, d := range diags {
+			doc.Findings = append(doc.Findings, jsonFinding{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, e := range stale {
+			doc.Stale = append(doc.Stale, jsonStale{
+				AllowFile: allowName, SourceLine: e.SourceLine,
+				Analyzer: e.Analyzer, File: e.File, Line: e.Line,
+			})
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(stdout, "%s:%d: stale allowlist entry %s %s:%d matches no finding; delete it\n",
+				allowName, e.SourceLine, e.Analyzer, e.File, e.Line)
+		}
 	}
 	if n := len(diags) + len(stale); n > 0 {
 		return fmt.Errorf("%d finding(s)", n)

@@ -11,13 +11,22 @@ import (
 	"github.com/perfmetrics/eventlens/internal/goldie"
 )
 
-// fixtureDirs are the seeded-violation packages, one per analyzer.
+// fixtureDirs are the seeded-violation packages, one per analyzer (goraw
+// seeds a second violation in a _test.go file to prove test coverage).
 var fixtureDirs = []string{
+	"testdata/src/cachekey",
 	"testdata/src/errsink",
 	"testdata/src/floateq",
+	"testdata/src/goraw",
 	"testdata/src/internal/core",
+	"testdata/src/lockbyvalue",
 	"testdata/src/maporder",
+	"testdata/src/seedcoord",
 }
+
+// fixtureFindings is the seeded-violation count across fixtureDirs: one per
+// analyzer, plus goraw's extra _test.go seed.
+const fixtureFindings = "9 finding(s)"
 
 // runLint runs the command in-process and returns stdout plus the error.
 func runLint(t *testing.T, args ...string) (string, error) {
@@ -50,10 +59,40 @@ func TestGoldenFixtures(t *testing.T) {
 	if code := cli.ExitCode("lint", err, new(bytes.Buffer)); code != 1 {
 		t.Errorf("exit code = %d, want 1", code)
 	}
-	if want := "4 finding(s)"; err.Error() != want {
-		t.Errorf("error = %q, want %q", err, want)
+	if err.Error() != fixtureFindings {
+		t.Errorf("error = %q, want %q", err, fixtureFindings)
 	}
 	goldie.Assert(t, "fixtures", []byte(out))
+}
+
+// TestGoldenFixturesJSON snapshots the -json document for the same run: CI
+// annotation tooling parses this shape.
+func TestGoldenFixturesJSON(t *testing.T) {
+	args := append([]string{"-allow", "none", "-json"}, fixtureDirs...)
+	out, err := runLint(t, args...)
+	if err == nil || err.Error() != fixtureFindings {
+		t.Fatalf("err = %v, want %s", err, fixtureFindings)
+	}
+	goldie.Assert(t, "fixtures-json", []byte(out))
+}
+
+// TestTestsFlagGatesTestFiles proves -tests=false hides the _test.go seed
+// while the regular-file seed still fires.
+func TestTestsFlagGatesTestFiles(t *testing.T) {
+	out, err := runLint(t, "-allow", "none", "-tests=false", "testdata/src/goraw")
+	if err == nil || err.Error() != "1 finding(s)" {
+		t.Fatalf("err = %v, want only the non-test seed", err)
+	}
+	if strings.Contains(out, "_test.go") {
+		t.Errorf("-tests=false still reported a test file:\n%s", out)
+	}
+	out, err = runLint(t, "-allow", "none", "testdata/src/goraw")
+	if err == nil || err.Error() != "2 finding(s)" {
+		t.Fatalf("err = %v, want both seeds with tests on\n%s", err, out)
+	}
+	if !strings.Contains(out, "goraw_test.go") {
+		t.Errorf("default run missed the _test.go seed:\n%s", out)
+	}
 }
 
 // TestGoldenSingleAnalyzer checks -run filtering: only the selected
@@ -67,8 +106,8 @@ func TestGoldenSingleAnalyzer(t *testing.T) {
 	goldie.Assert(t, "run-maporder", []byte(out))
 }
 
-// TestAllowlistSuppresses runs the fixtures under an allowlist covering all
-// four seeded violations: the run must come back clean.
+// TestAllowlistSuppresses runs the fixtures under an allowlist covering
+// every seeded violation: the run must come back clean.
 func TestAllowlistSuppresses(t *testing.T) {
 	args := append([]string{"-allow", "testdata/allow/fixtures.allow"}, fixtureDirs...)
 	out, err := runLint(t, args...)

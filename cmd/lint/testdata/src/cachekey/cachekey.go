@@ -1,0 +1,23 @@
+// Package cachekey is a seeded-violation fixture for the cachekey analyzer:
+// the struct below gained a Retries field, but String() was never updated —
+// two configs differing only in Retries would share one cache entry.
+package cachekey
+
+import "fmt"
+
+// Config is a cache-keyed configuration whose canonical form forgot a field.
+//
+// lint:cachekey
+type Config struct {
+	// Tau reaches String().
+	Tau float64
+	// Retries changes results but never reaches String() — the seeded bug.
+	Retries int
+	// lint:cachekey-exempt worker count cannot change results
+	Workers int
+}
+
+// String renders Tau only; Retries was added later and forgotten.
+func (c Config) String() string {
+	return fmt.Sprintf("tau=%g", c.Tau)
+}

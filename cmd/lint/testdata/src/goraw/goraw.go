@@ -1,0 +1,11 @@
+// Package goraw is a seeded-violation fixture for the goraw analyzer: a raw
+// go statement outside the sanctioned pool packages, with no panic
+// containment and no deterministic join.
+package goraw
+
+// Fire launches a goroutine the caller can neither join nor observe fail.
+func Fire(done chan<- struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+}

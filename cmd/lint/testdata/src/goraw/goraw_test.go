@@ -1,0 +1,15 @@
+// Seeded _test.go violation: goraw runs on test files too, and a WaitGroup
+// fan-out in a test is exactly the shape par.For replaces.
+package goraw
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFanOut(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}

@@ -1,0 +1,19 @@
+// Package lockbyvalue is a seeded-violation fixture for the lockbyvalue
+// analyzer: a value receiver on a mutex-holding type, so every call locks a
+// copy and the guard protects nothing.
+package lockbyvalue
+
+import "sync"
+
+// Counter guards n with a mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value locks a copy of the counter — the seeded bug.
+func (c Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,19 @@
+// Package seedcoord is a seeded-violation fixture for the seedcoord
+// analyzer: a par.For body that seeds its RNG from a constant, so every task
+// draws the same stream instead of one derived from its coordinate.
+package seedcoord
+
+import (
+	"math/rand"
+
+	"github.com/perfmetrics/eventlens/internal/par"
+)
+
+// Fill draws per-task noise, but the seed ignores the task index — the
+// seeded bug: all tasks produce identical values.
+func Fill(out []float64) {
+	par.For(0, len(out), func(i int) {
+		rng := rand.New(rand.NewSource(42))
+		out[i] = rng.Float64()
+	})
+}

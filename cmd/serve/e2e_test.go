@@ -74,7 +74,7 @@ func TestEndToEndAnalyzeAndServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
 	}
@@ -97,7 +97,7 @@ func TestEndToEndAnalyzeAndServe(t *testing.T) {
 		Report string `json:"report"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil {
 		t.Fatal(err)
 	}

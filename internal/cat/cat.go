@@ -24,6 +24,8 @@ import (
 // RunConfig controls a benchmark run. Its JSON form is canonical — every
 // field has a stable lowercase key and round-trips exactly — so it can serve
 // as an API payload and as part of a result-cache key.
+//
+// lint:cachekey — every result-affecting field must reach String().
 type RunConfig struct {
 	// Reps is the number of benchmark repetitions (the paper collects the
 	// measurement vector from multiple repetitions to quantify noise).
@@ -36,6 +38,7 @@ type RunConfig struct {
 	// is seeded purely by (platform, event, group, point, rep, thread)
 	// coordinates, so any worker count collects byte-identical data —
 	// which is why Workers is excluded from String() and cache keys.
+	// lint:cachekey-exempt noise is seeded purely by measurement coordinates, so any worker count collects byte-identical data
 	Workers int `json:"workers,omitempty"`
 	// Faults optionally enables deterministic fault injection during
 	// collection, as a fault.Spec string ("seed=7,transient=0.05"). Empty

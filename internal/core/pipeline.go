@@ -12,6 +12,8 @@ import (
 // Alpha (Sections IV and V-E). Its JSON form is canonical — every field has
 // a stable lowercase key and round-trips exactly — so it can serve as an API
 // payload and as part of a result-cache key.
+//
+// lint:cachekey — every result-affecting field must reach String().
 type Config struct {
 	// Tau is the max-RNMSE noise threshold (Section IV). Events above it
 	// are filtered out.
@@ -30,6 +32,7 @@ type Config struct {
 	// byte-identical results — parallelism only changes wall-clock time — so
 	// Workers is deliberately excluded from String(), keeping cache keys
 	// canonical across differently-parallel requests for the same analysis.
+	// lint:cachekey-exempt worker count cannot change results; parallel and serial runs are byte-identical (TestPipelineParallelByteIdentical)
 	Workers int `json:"workers,omitempty"`
 }
 

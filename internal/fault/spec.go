@@ -10,6 +10,8 @@ import (
 // depth=2,retries=3") is what flags, RunConfig.Faults and the daemon's
 // -chaos option carry; String renders it canonically so equal specs always
 // produce equal cache keys.
+//
+// lint:cachekey — injection parameters change results, so all must reach String().
 type Spec struct {
 	// Seed roots every decision the plan makes.
 	Seed uint64

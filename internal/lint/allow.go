@@ -40,10 +40,12 @@ type Allowlist struct {
 // ParseAllowFile reads and parses an allowlist file. Each non-blank,
 // non-comment line has the form
 //
-//	<analyzer> <file>:<line>        # optional reason
+//	<analyzer> <file>:<line>        # reason
 //
 // with <file> slash-separated and relative to the module root. '#' starts a
-// comment anywhere on a line.
+// comment anywhere on a line. The reason is mandatory: an exception nobody
+// wrote down a justification for is treated as malformed, not silently
+// accepted — reviewers read this file, and a bare entry tells them nothing.
 func ParseAllowFile(path string) (*Allowlist, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -82,6 +84,9 @@ func ParseAllow(path, content string) (*Allowlist, error) {
 		file := filepath.ToSlash(loc[:colon])
 		if filepath.IsAbs(file) || strings.HasPrefix(file, "../") {
 			return nil, fmt.Errorf("%s:%d: file %q must be relative to the module root", path, i+1, file)
+		}
+		if reason == "" {
+			return nil, fmt.Errorf("%s:%d: entry %s %s:%d must carry a '# reason' — an unjustified exception is not an exception", path, i+1, fields[0], file, lineNo)
 		}
 		al.Entries = append(al.Entries, AllowEntry{
 			Analyzer:   fields[0],

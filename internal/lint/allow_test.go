@@ -10,7 +10,7 @@ func TestParseAllow(t *testing.T) {
 	content := `# header comment
 
 floateq internal/core/x.go:12   # tolerated residue check
-errsink cmd/serve/main.go:7
+errsink cmd/serve/main.go:7     # best-effort cleanup on shutdown
 `
 	al, err := ParseAllow("lint.allow", content)
 	if err != nil {
@@ -25,7 +25,8 @@ errsink cmd/serve/main.go:7
 		t.Errorf("entry 0 = %+v", e)
 	}
 	e = al.Entries[1]
-	if e.Analyzer != "errsink" || e.File != "cmd/serve/main.go" || e.Line != 7 || e.Reason != "" || e.SourceLine != 4 {
+	if e.Analyzer != "errsink" || e.File != "cmd/serve/main.go" || e.Line != 7 ||
+		e.Reason != "best-effort cleanup on shutdown" || e.SourceLine != 4 {
 		t.Errorf("entry 1 = %+v", e)
 	}
 }
@@ -41,6 +42,8 @@ func TestParseAllowErrors(t *testing.T) {
 		{"zero line number", "floateq a.go:0\n", "bad line number"},
 		{"absolute path", "floateq /tmp/a.go:3\n", "relative to the module root"},
 		{"escaping path", "floateq ../a.go:3\n", "relative to the module root"},
+		{"missing reason", "floateq a.go:3\n", "must carry a '# reason'"},
+		{"blank reason", "floateq a.go:3   #\n", "must carry a '# reason'"},
 	}
 	for _, tc := range cases {
 		_, err := ParseAllow("lint.allow", tc.content)
@@ -52,7 +55,7 @@ func TestParseAllowErrors(t *testing.T) {
 
 func TestAllowFilterAndStale(t *testing.T) {
 	al, err := ParseAllow("lint.allow", `
-floateq internal/core/x.go:12
+floateq internal/core/x.go:12 # residue check
 errsink cmd/serve/main.go:7   # never matches -> stale
 `)
 	if err != nil {

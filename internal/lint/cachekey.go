@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CacheKey proves cache-key completeness by struct-field analysis. The
+// serving tier's result cache, the persistent store and the shard ring all
+// key on canonical config strings (core.Config.String, cat.RunConfig.String,
+// validate.Request.Key, …). A field that changes results but is missing from
+// the canonical form makes two different analyses share one cache entry —
+// the worst kind of wrong answer, served fast, from disk, forever.
+//
+// Structs opt in with a `lint:cachekey` marker in the type's doc comment.
+// For a marked struct the analyzer requires every named field to be
+// referenced — directly or through same-package calls — by the struct's
+// canonical String() or Key() method. Deliberate exclusions (fields that
+// provably cannot change results, like Workers) carry a field marker:
+//
+//	// lint:cachekey-exempt <reason>
+//
+// The reason is mandatory: an exemption nobody can justify is a finding.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "proves every field of a lint:cachekey struct reaches its canonical String()/Key() method or carries a reasoned exempt marker",
+	Run:  runCacheKey,
+}
+
+const (
+	cacheKeyMarker    = "lint:cachekey"
+	cacheKeyExemptTag = "lint:cachekey-exempt"
+)
+
+// markerLine scans comment groups for a line containing marker and returns
+// (found, text-after-marker). The exempt tag is checked before the struct
+// marker wherever both could appear, since one is a prefix of the other.
+func markerLine(marker string, groups ...*ast.CommentGroup) (bool, string) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimLeft(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"), " \t")
+			if rest, ok := strings.CutPrefix(text, marker); ok {
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					return true, strings.TrimSpace(strings.TrimSuffix(rest, "*/"))
+				}
+			}
+		}
+	}
+	return false, ""
+}
+
+// keyStruct is one marked struct and the syntax needed to check it.
+type keyStruct struct {
+	spec *ast.TypeSpec
+	st   *ast.StructType
+	obj  *types.TypeName
+}
+
+func runCacheKey(p *Pass) {
+	structs := markedStructs(p)
+	if len(structs) == 0 {
+		return
+	}
+	decls := packageFuncDecls(p)
+	for _, ks := range structs {
+		checkKeyStruct(p, ks, decls)
+	}
+}
+
+// markedStructs collects the package's lint:cachekey structs in file order.
+func markedStructs(p *Pass) []keyStruct {
+	var out []keyStruct
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if exempt, _ := markerLine(cacheKeyExemptTag, gd.Doc, ts.Doc, ts.Comment); exempt {
+					p.Reportf(ts.Name.Pos(), "%s is a field marker; mark the struct with %s instead", cacheKeyExemptTag, cacheKeyMarker)
+					continue
+				}
+				found, _ := markerLine(cacheKeyMarker, gd.Doc, ts.Doc, ts.Comment)
+				if !found {
+					continue
+				}
+				obj, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				out = append(out, keyStruct{spec: ts, st: st, obj: obj})
+			}
+		}
+	}
+	return out
+}
+
+// packageFuncDecls indexes the package's function and method declarations by
+// their type-checker object, for transitive reachability walks.
+func packageFuncDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// canonicalMethods returns the struct's String and Key method declarations,
+// in file order (not map order — the walk order must stay deterministic).
+func canonicalMethods(p *Pass, obj *types.TypeName) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if fd.Name.Name != "String" && fd.Name.Name != "Key" {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj() == obj {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// checkKeyStruct verifies one marked struct: every named, non-exempt field
+// must be referenced by the canonical method set or the code it calls within
+// the package.
+func checkKeyStruct(p *Pass, ks keyStruct, decls map[*types.Func]*ast.FuncDecl) {
+	methods := canonicalMethods(p, ks.obj)
+	if len(methods) == 0 {
+		p.Reportf(ks.spec.Name.Pos(), "struct %s is marked %s but has no String() or Key() method to render its cache key", ks.obj.Name(), cacheKeyMarker)
+		return
+	}
+	referenced := fieldsReferenced(p, methods, decls)
+	for _, field := range ks.st.Fields.List {
+		exempt, reason := markerLine(cacheKeyExemptTag, field.Doc, field.Comment)
+		if exempt && reason == "" {
+			p.Reportf(field.Pos(), "%s marker on %s.%s needs a reason; an exemption nobody can justify is not an exemption", cacheKeyExemptTag, ks.obj.Name(), fieldLabel(field))
+			continue
+		}
+		if exempt {
+			continue
+		}
+		for _, name := range field.Names {
+			obj, ok := p.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if !referenced[obj] {
+				p.Reportf(name.Pos(), "field %s.%s does not reach the canonical String()/Key() form; include it in the key or mark it // %s <reason>",
+					ks.obj.Name(), name.Name, cacheKeyExemptTag)
+			}
+		}
+	}
+}
+
+// fieldLabel names a field list entry for diagnostics (embedded fields have
+// no name of their own).
+func fieldLabel(field *ast.Field) string {
+	if len(field.Names) > 0 {
+		names := make([]string, len(field.Names))
+		for i, n := range field.Names {
+			names[i] = n.Name
+		}
+		return strings.Join(names, ",")
+	}
+	return types.ExprString(field.Type)
+}
+
+// fieldsReferenced walks the canonical methods plus every same-package
+// function they (transitively) call, collecting the struct-field objects
+// selected anywhere along the way. Selection identity is the typechecker's
+// field object, so renames and embedded copies cannot alias.
+func fieldsReferenced(p *Pass, roots []*ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) map[*types.Var]bool {
+	referenced := make(map[*types.Var]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	queue := append([]*ast.FuncDecl(nil), roots...)
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if visited[fd] {
+			continue
+		}
+		visited[fd] = true
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						referenced[v] = true
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(p.Info, n); fn != nil {
+					if callee, ok := decls[fn]; ok && !visited[callee] {
+						queue = append(queue, callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return referenced
+}

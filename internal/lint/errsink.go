@@ -18,9 +18,10 @@ import (
 //   - `defer`/`go` statements and explicit `_ =` discards, which are
 //     visible decisions rather than silent ones.
 var ErrSink = &Analyzer{
-	Name: "errsink",
-	Doc:  "flags statements that call an error-returning function and discard the result",
-	Run:  runErrSink,
+	Name:      "errsink",
+	Doc:       "flags statements that call an error-returning function and discard the result",
+	TestFiles: true,
+	Run:       runErrSink,
 }
 
 // fmtPrintFamily is the exempt fmt output surface.

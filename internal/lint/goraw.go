@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoRaw keeps ad-hoc concurrency out of everything but the two sanctioned
+// homes. internal/par owns fan-out: its pool contains panics as typed
+// *PanicError values and reports the lowest-index error, so Workers=1 and
+// Workers=N observe the same failure. internal/server owns the long-lived
+// job-worker pool and the HTTP serve/drain lifecycle. A raw `go` statement
+// or hand-rolled sync.WaitGroup anywhere else bypasses both guarantees: one
+// panicking goroutine kills the process, and error selection becomes a race.
+// Test files are covered too — a chaos test that fans out with bare
+// goroutines can deadlock the suite on a contained panic.
+var GoRaw = &Analyzer{
+	Name:      "goraw",
+	Doc:       "flags raw go statements and sync.WaitGroup fan-out outside internal/par and internal/server",
+	Scope:     goRawScope,
+	TestFiles: true,
+	Run:       runGoRaw,
+}
+
+// goRawExemptScopes are the sanctioned concurrency homes, matched by package
+// path suffix so fixture packages can mirror them.
+var goRawExemptScopes = []string{
+	"internal/par",
+	"internal/server",
+}
+
+func goRawScope(pkgPath string) bool {
+	for _, s := range goRawExemptScopes {
+		if strings.HasSuffix(pkgPath, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func runGoRaw(p *Pass) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if inLoop(stack) {
+					p.Reportf(n.Go, "goroutine fan-out in a loop; route it through par.For/ForErr for panic containment and lowest-index-wins errors")
+				} else {
+					p.Reportf(n.Go, "raw go statement outside internal/par and internal/server; use par.For/ForErr, or justify it in lint.allow")
+				}
+			case *ast.Ident:
+				if obj, ok := p.Info.Defs[n].(*types.Var); ok && isSyncWaitGroup(obj.Type()) {
+					p.Reportf(n.Pos(), "sync.WaitGroup %s declared outside internal/par and internal/server; par.For/ForErr already joins, contains panics and orders errors", n.Name)
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// inLoop reports whether the node stack passes through a for/range statement
+// (goroutines launched per iteration are fan-out, the exact shape par.For
+// replaces).
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncWaitGroup reports whether t is sync.WaitGroup itself.
+func isSyncWaitGroup(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

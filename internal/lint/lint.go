@@ -7,7 +7,7 @@
 // while the analyzers here refuse the source constructs that could violate
 // them on any input.
 //
-// The four project-specific analyzers and the invariants they protect:
+// The eight project-specific analyzers and the invariants they protect:
 //
 //   - maporder: byte-identical reports require no map-iteration order leaking
 //     into output or returned slices.
@@ -19,6 +19,14 @@
 //     race multiple ready channels.
 //   - errsink: a silently discarded error can hide a short write or a failed
 //     solve, producing a plausible but wrong report.
+//   - cachekey: every result-affecting field of a marked cache-key struct
+//     must reach its canonical String()/Key() method, or carry a reasoned
+//     lint:cachekey-exempt marker.
+//   - goraw: fan-out happens through internal/par (or the server's sanctioned
+//     pool), never via raw go statements or hand-rolled WaitGroups.
+//   - lockbyvalue: sync primitives are never copied by value.
+//   - seedcoord: random sources built under par.For/ForErr are seeded by
+//     coordinates (parameters, struct fields), not shared state.
 //
 // See DESIGN.md §10 for the full rationale and TESTING.md for the allowlist
 // workflow.
@@ -30,6 +38,9 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/par"
 )
 
 // Analyzer is one named check over a typechecked package.
@@ -42,6 +53,10 @@ type Analyzer struct {
 	// returns true (matched against the package import path). A nil Scope
 	// means every package.
 	Scope func(pkgPath string) bool
+	// TestFiles opts the analyzer into test-augmented packages (loaded via
+	// LoadDirTests): its findings inside _test.go files are kept. Analyzers
+	// without it never see test code.
+	TestFiles bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -86,10 +101,14 @@ type Diagnostic struct {
 // allocated; callers may filter it.
 func All() []*Analyzer {
 	as := []*Analyzer{
+		CacheKey,
 		ErrSink,
 		FloatEq,
+		GoRaw,
+		LockByValue,
 		MapOrder,
 		NonDetSrc,
+		SeedCoord,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
@@ -114,24 +133,68 @@ func ByName(names []string) ([]*Analyzer, error) {
 
 // Run applies every analyzer to every package and returns the findings
 // sorted by position, then analyzer name, then message — a deterministic
-// order regardless of package or analyzer scheduling.
+// order regardless of package or analyzer scheduling. It fans the
+// (package, analyzer) pairs out through the module's own worker pool;
+// Workers(0) semantics apply (GOMAXPROCS).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	return RunWorkers(pkgs, analyzers, 0)
+}
+
+// RunWorkers is Run with an explicit worker bound. Each (package, analyzer)
+// pair is an independent read-only pass over the shared typecheck results,
+// writing to its own diagnostic slice; assembly and sorting afterwards make
+// the output order independent of scheduling. Test-augmented packages
+// (Package.TestFiles) run only TestFiles analyzers, and keep only the
+// findings located in _test.go files — the non-test files were already
+// covered by the regular package.
+func RunWorkers(pkgs []*Package, analyzers []*Analyzer, workers int) []Diagnostic {
+	type task struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	var tasks []task
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if pkg.TestFiles && !a.TestFiles {
+				continue
+			}
 			if a.Scope != nil && !a.Scope(pkg.Path) {
 				continue
 			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-			}
-			a.Run(pass)
+			tasks = append(tasks, task{pkg: pkg, a: a})
 		}
+	}
+	results := make([][]Diagnostic, len(tasks))
+	if err := par.ForErr(workers, len(tasks), func(i int) error {
+		var out []Diagnostic
+		t := tasks[i]
+		t.a.Run(&Pass{
+			Analyzer: t.a,
+			Fset:     t.pkg.Fset,
+			Files:    t.pkg.Files,
+			Pkg:      t.pkg.Types,
+			Info:     t.pkg.Info,
+			diags:    &out,
+		})
+		if t.pkg.TestFiles {
+			kept := out[:0]
+			for _, d := range out {
+				if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+					kept = append(kept, d)
+				}
+			}
+			out = kept
+		}
+		results[i] = out
+		return nil
+	}); err != nil {
+		// The only possible error is a contained analyzer panic; re-raise it
+		// so a broken analyzer cannot masquerade as a clean run.
+		panic(err)
+	}
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -149,5 +212,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+	// A construct can be reached twice by one analyzer (seedcoord checks a
+	// nested par body both as an entry and through its enclosing function);
+	// identical findings collapse to one.
+	out := diags[:0]
+	for i, d := range diags {
+		if i == 0 || d != diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
 }

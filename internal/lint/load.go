@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, typechecked package of the module.
@@ -28,6 +29,10 @@ type Package struct {
 	Types *types.Package
 	// Info holds expression types, identifier definitions/uses and selections.
 	Info *types.Info
+	// TestFiles marks a test-augmented package (LoadDirTests): its Files
+	// include _test.go sources, only TestFiles analyzers run on it, and only
+	// diagnostics inside _test.go files are kept.
+	TestFiles bool
 }
 
 // Loader parses and typechecks packages of a single module without any
@@ -45,9 +50,10 @@ type Loader struct {
 	// Fset accumulates positions for every parsed file.
 	Fset *token.FileSet
 
-	std     types.Importer
-	pkgs    map[string]*Package // by import path
-	loading map[string]bool     // cycle guard
+	std      types.Importer
+	pkgs     map[string]*Package // by import path
+	testPkgs map[string][]*Package
+	loading  map[string]bool // cycle guard
 }
 
 // NewLoader builds a loader for the module rooted at root (the directory
@@ -63,13 +69,47 @@ func NewLoader(root string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		Root:    abs,
-		Module:  modPath,
-		Fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		Root:     abs,
+		Module:   modPath,
+		Fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*Package),
+		testPkgs: make(map[string][]*Package),
+		loading:  make(map[string]bool),
 	}, nil
+}
+
+// sharedLoaders memoizes loaders per module root for the lifetime of the
+// process: stdlib and module packages are source-typechecked once and shared
+// across every subsequent run (the lint driver's own tests run the command
+// in-process many times; without sharing, each run re-typechecks the entire
+// stdlib import closure). Source files are immutable for the duration of a
+// lint process, so the cache cannot go stale. Loading through a shared
+// loader is serialized by sharedMu; the loaded packages themselves are
+// read-only and safe for the concurrent analyzer passes.
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = make(map[string]*Loader)
+)
+
+// SharedLoader returns the process-wide cached loader for a module root,
+// creating it on first use.
+func SharedLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if l, ok := sharedLoaders[abs]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(abs)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaders[abs] = l
+	return l, nil
 }
 
 // FindRoot walks upward from dir to the nearest directory containing go.mod.
@@ -244,6 +284,109 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// LoadDirTests loads the directory's test code: an in-package test-augmented
+// package (the regular sources plus same-package _test.go files, typechecked
+// together), and, when present, the external foo_test package. Both come
+// back flagged TestFiles, are memoized per directory, and are kept out of
+// the import-resolution cache so other packages still import the non-test
+// view. A directory with no test files yields an empty slice.
+func (l *Loader) LoadDirTests(dir string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkgs, ok := l.testPkgs[abs]; ok {
+		return pkgs, nil
+	}
+	path, err := l.importPath(abs)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var testNames, regularNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testNames = append(testNames, name)
+		} else {
+			regularNames = append(regularNames, name)
+		}
+	}
+	if len(testNames) == 0 {
+		l.testPkgs[abs] = nil
+		return nil, nil
+	}
+	sort.Strings(testNames)
+	sort.Strings(regularNames)
+
+	// Parse test files and split them by package clause: in-package tests
+	// merge with the regular sources; foo_test files form their own package.
+	var inPkg, external []*ast.File
+	basePkg := ""
+	for _, name := range testNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+			basePkg = f.Name.Name
+		}
+	}
+
+	check := func(path string, files []*ast.File) (*Package, error) {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: l, FakeImportC: true}
+		tpkg, err := conf.Check(path, l.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", path, err)
+		}
+		return &Package{Path: path, Dir: abs, Fset: l.Fset, Files: files, Types: tpkg, Info: info, TestFiles: true}, nil
+	}
+
+	var pkgs []*Package
+	if len(inPkg) > 0 {
+		files := append([]*ast.File(nil), inPkg...)
+		for _, name := range regularNames {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			if f.Name.Name != basePkg {
+				return nil, fmt.Errorf("%s: test package %s does not match package %s", abs, basePkg, f.Name.Name)
+			}
+			files = append(files, f)
+		}
+		pkg, err := check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(external) > 0 {
+		pkg, err := check(path+"_test", external)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	l.testPkgs[abs] = pkgs
+	return pkgs, nil
 }
 
 // Import implements types.Importer, routing module-internal paths through

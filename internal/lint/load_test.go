@@ -74,6 +74,55 @@ func TestLoadDirOutsideModule(t *testing.T) {
 	}
 }
 
+// TestLoadDirTests pins the test-file views: in-package _test.go files merge
+// with the regular sources into one TestFiles package, external _test
+// packages load separately, and neither leaks into the base package cache.
+func TestLoadDirTests(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"p/p.go":        "package p\n\nfunc Answer() int { return 42 }\n",
+		"p/p_test.go":   "package p\n\nimport \"testing\"\n\nfunc TestAnswer(t *testing.T) { _ = Answer() }\n",
+		"p/ext_test.go": "package p_test\n\nimport (\n\t\"testing\"\n\n\t\"example.com/fixture/p\"\n)\n\nfunc TestExt(t *testing.T) { _ = p.Answer() }\n",
+		"q/q.go":        "package q\n",
+		"app/app.go":    "package app\n\nimport \"example.com/fixture/p\"\n\nfunc Run() int { return p.Answer() }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDirTests(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d test packages, want in-package + external", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if !pkg.TestFiles {
+			t.Errorf("package %s not flagged TestFiles", pkg.Path)
+		}
+	}
+	if pkgs[0].Path != "example.com/fixture/p" || len(pkgs[0].Files) != 2 {
+		t.Errorf("in-package view = %s with %d files, want p with source+test", pkgs[0].Path, len(pkgs[0].Files))
+	}
+	if pkgs[1].Path != "example.com/fixture/p_test" {
+		t.Errorf("external view = %s, want p_test", pkgs[1].Path)
+	}
+	// A dir with no test files yields nothing.
+	none, err := loader.LoadDirTests(filepath.Join(root, "q"))
+	if err != nil || none != nil {
+		t.Errorf("no-test dir: pkgs = %v, err = %v; want nil, nil", none, err)
+	}
+	// The base package view stays test-free: an importer must not see the
+	// test-augmented package.
+	app, err := loader.LoadDir(filepath.Join(root, "app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.TestFiles {
+		t.Error("importing package inherited TestFiles")
+	}
+}
+
 func TestFindRoot(t *testing.T) {
 	root := writeModule(t, map[string]string{"a/b/c.go": "package b\n"})
 	got, err := FindRoot(filepath.Join(root, "a", "b"))

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockByValue detects sync primitives copied by value. A copied sync.Mutex
+// is a fork: the copy and the original each guard nothing, and the data race
+// they were supposed to prevent becomes a nondeterminism source the rest of
+// this gate exists to rule out. A copied sync.Once can re-run its function;
+// a copied sync.WaitGroup splits its counter. The three copy shapes that
+// slip past review are value method receivers (every call copies the
+// receiver), plain assignment, and range-clause element copies.
+var LockByValue = &Analyzer{
+	Name:      "lockbyvalue",
+	Doc:       "detects sync.Mutex/RWMutex/Once/WaitGroup values copied via value receivers, assignment or range clauses",
+	TestFiles: true,
+	Run:       runLockByValue,
+}
+
+// syncLockTypes are the sync types whose values must never be copied once
+// used (per their package documentation).
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true, "WaitGroup": true,
+	"Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether a value of type t holds one of the sync
+// primitives, directly or through struct fields and array elements. Pointers
+// break containment: copying a *sync.Mutex shares the lock, which is fine.
+func containsLock(t types.Type) bool {
+	return lockWalk(t, make(map[types.Type]bool))
+}
+
+func lockWalk(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && syncLockTypes[named.Obj().Name()] {
+			return true
+		}
+		return lockWalk(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lockWalk(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockWalk(t.Elem(), seen)
+	}
+	return false
+}
+
+// copiesExisting reports whether an expression denotes an existing value
+// whose use on the right-hand side of an assignment copies it: identifiers,
+// field selections, index expressions and dereferences. Composite literals
+// and calls construct fresh values, which is initialization, not copying.
+func copiesExisting(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func runLockByValue(p *Pass) {
+	// Type names render package-relative: "Counter", not the full import
+	// path, and "sync.WaitGroup" for foreign packages.
+	typeName := func(t types.Type) string {
+		return types.TypeString(t, types.RelativeTo(p.Pkg))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv == nil || len(n.Recv.List) == 0 {
+					return true
+				}
+				rt := p.Info.TypeOf(n.Recv.List[0].Type)
+				if rt == nil {
+					return true
+				}
+				if _, isPtr := rt.(*types.Pointer); !isPtr && containsLock(rt) {
+					p.Reportf(n.Recv.List[0].Pos(), "method %s has a value receiver of lock-holding type %s; every call copies the lock — use a pointer receiver", n.Name.Name, typeName(rt))
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if !copiesExisting(rhs) {
+						continue
+					}
+					if t := p.Info.TypeOf(rhs); t != nil && containsLock(t) && !isBlank(n.Lhs[i]) {
+						p.Reportf(rhs.Pos(), "assignment copies lock-holding value of type %s; keep a pointer to it instead", typeName(t))
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if !copiesExisting(v) || i >= len(n.Names) || n.Names[i].Name == "_" {
+						continue
+					}
+					if t := p.Info.TypeOf(v); t != nil && containsLock(t) {
+						p.Reportf(v.Pos(), "declaration copies lock-holding value of type %s; keep a pointer to it instead", typeName(t))
+					}
+				}
+			case *ast.RangeStmt:
+				for _, v := range []ast.Expr{n.Key, n.Value} {
+					if v == nil || isBlank(v) {
+						continue
+					}
+					if t := p.Info.TypeOf(v); t != nil && containsLock(t) {
+						p.Reportf(v.Pos(), "range clause copies lock-holding value of type %s per iteration; range over indices or pointers instead", typeName(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

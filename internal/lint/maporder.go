@@ -13,9 +13,10 @@ import (
 // analyzer because the map-range body then only appends to a local that is
 // sorted before use.
 var MapOrder = &Analyzer{
-	Name: "maporder",
-	Doc:  "flags range-over-map loops whose bodies write output or build returned slices (nondeterministic order)",
-	Run:  runMapOrder,
+	Name:      "maporder",
+	Doc:       "flags range-over-map loops whose bodies write output or build returned slices (nondeterministic order)",
+	TestFiles: true,
+	Run:       runMapOrder,
 }
 
 // writeMethods are method names treated as io writes when called inside a

@@ -3,8 +3,8 @@ package mat
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"github.com/perfmetrics/eventlens/internal/par"
 )
 
 // matmulParallelThreshold is the minimum number of result elements before
@@ -84,28 +84,23 @@ func MatMul(a, b *Dense) *Dense {
 		matmulRows(c, a, b, 0, a.rows)
 		return c
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := par.Workers(0)
 	if workers > a.rows {
 		workers = a.rows
 	}
-	var wg sync.WaitGroup
 	chunk := (a.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	// Each chunk writes a disjoint row range of c, so the fan-out is
+	// byte-identical to the serial loop regardless of scheduling.
+	par.For(workers, workers, func(w int) {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > a.rows {
 			hi = a.rows
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		if lo < hi {
 			matmulRows(c, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	return c
 }
 

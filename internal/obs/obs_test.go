@@ -2,8 +2,9 @@ package obs
 
 import (
 	"strings"
-	"sync"
 	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/par"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -136,24 +137,18 @@ func TestConcurrentUse(t *testing.T) {
 	h := r.Histogram("h_seconds", "h", DefLatencyBuckets())
 	v := r.CounterVec("v_total", "v", "route")
 	const workers, iters = 8, 500
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < iters; i++ {
-				c.Inc()
-				g.Inc()
-				h.Observe(float64(i%7) * 0.01)
-				v.With("/r").Inc()
-				if i%100 == 0 {
-					var b strings.Builder
-					_ = r.WritePrometheus(&b)
-				}
+	par.For(workers, workers, func(int) {
+		for i := 0; i < iters; i++ {
+			c.Inc()
+			g.Inc()
+			h.Observe(float64(i%7) * 0.01)
+			v.With("/r").Inc()
+			if i%100 == 0 {
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+	})
 	if c.Value() != workers*iters {
 		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
 	}

@@ -68,7 +68,7 @@ func TestStoreWarmRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	first, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("first analyze: %d %v", resp.StatusCode, err)
 	}

@@ -457,14 +457,14 @@ func TestRunGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 
 	// Leave a job in flight so shutdown has something to drain.
 	jr, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{"benchmark":"cpu-flops"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	jr.Body.Close()
+	_ = jr.Body.Close()
 
 	cancel()
 	select {

@@ -7,8 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 	"testing"
+
+	"github.com/perfmetrics/eventlens/internal/par"
 )
 
 func open(t *testing.T) *Store {
@@ -171,44 +172,33 @@ func TestConcurrentWriteRename(t *testing.T) {
 	s := open(t)
 	key := "contended-key"
 	payload := bytes.Repeat([]byte("deterministic-bytes-"), 512)
-	var wg sync.WaitGroup
-	start := make(chan struct{})
 	errc := make(chan error, 64)
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			<-start
+	// One par.For fan-out runs 8 writers and 8 readers concurrently; the pool
+	// dispatches all 16 tasks at once, so writers and readers still contend.
+	par.For(16, 16, func(i int) {
+		if i < 8 {
 			for j := 0; j < 20; j++ {
 				if err := s.Put(key, payload); err != nil {
 					errc <- err
 					return
 				}
 			}
-		}()
-	}
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			<-start
-			for j := 0; j < 40; j++ {
-				got, err := s.Get(key)
-				switch {
-				case errors.Is(err, ErrNotExist):
-					// not yet published — fine
-				case err != nil:
-					errc <- fmt.Errorf("reader saw %v", err)
-					return
-				case !bytes.Equal(got, payload):
-					errc <- fmt.Errorf("reader saw torn payload (%d bytes)", len(got))
-					return
-				}
+			return
+		}
+		for j := 0; j < 40; j++ {
+			got, err := s.Get(key)
+			switch {
+			case errors.Is(err, ErrNotExist):
+				// not yet published — fine
+			case err != nil:
+				errc <- fmt.Errorf("reader saw %v", err)
+				return
+			case !bytes.Equal(got, payload):
+				errc <- fmt.Errorf("reader saw torn payload (%d bytes)", len(got))
+				return
 			}
-		}()
-	}
-	close(start)
-	wg.Wait()
+		}
+	})
 	close(errc)
 	for err := range errc {
 		t.Error(err)

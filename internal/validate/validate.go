@@ -68,6 +68,8 @@ func VerdictOrder() []string {
 }
 
 // Tolerances are the thresholds of the trust decision tree.
+//
+// lint:cachekey — the thresholds change verdicts, so all must reach String().
 type Tolerances struct {
 	// NoisyTau is the MaxRNMSE above which an event is noisy (mirrors the
 	// analysis pipeline's noise filter, but against the validator's runs).
@@ -109,6 +111,8 @@ func (t Tolerances) String() string {
 
 // Request selects what to validate. Its JSON form is the /v1/events/validate
 // payload.
+//
+// lint:cachekey — every result-affecting field must reach Key().
 type Request struct {
 	// Platform is the catalog to validate: "spr" or "mi250x" (the -sim
 	// suffixed platform names are accepted too).
