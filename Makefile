@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race lint lint-selftest lint-guard verify validate chaos cluster fuzz cover golden bench bench-guard profile clean
+.PHONY: build test race lint lint-selftest lint-guard verify validate matrix chaos cluster fuzz cover golden bench bench-guard profile clean
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,16 @@ validate:
 	$(GO) run ./cmd/validate -platform spr
 	$(GO) run ./cmd/validate -platform mi250x
 
+# Platform-catalog lane: the platdef codec (property, byte-identity and
+# fuzz-seed suites), the data-driven platform registry, the composability
+# matrix engine and its /v1/matrix + figures surfaces (cache/store/shard/
+# chaos e2e) under the race detector, then a full cross-architecture matrix
+# render as a smoke run. See DESIGN.md §15.
+matrix:
+	$(GO) test -race -count=1 ./internal/platdef/... ./internal/matrix/... ./internal/machine/...
+	$(GO) test -race -count=1 -run 'Matrix|Platforms' ./internal/server ./cmd/figures
+	$(GO) run ./cmd/figures -fig matrix
+
 # Chaos lane: the fault-injection invariants (replay, recovery, degradation —
 # DESIGN.md §11) as oracle checks, then the fault-injection e2e tests at every
 # seam under the race detector. See TESTING.md "Chaos / fault injection".
@@ -81,6 +91,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundToGrid$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzMaxRNMSE$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzCluster$$' -fuzztime $(FUZZTIME) ./internal/similarity
+	$(GO) test -run '^$$' -fuzz '^FuzzPlatDef$$' -fuzztime $(FUZZTIME) ./internal/platdef
 
 # Total statement coverage with a hard floor, so coverage can only ratchet up.
 cover:

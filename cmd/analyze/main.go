@@ -7,9 +7,15 @@
 //
 //	analyze -in cpu-flops.json.gz -bench cpu-flops
 //	analyze -bench branch            (collect and analyze in one step)
+//	analyze -bench branch -platform graviton   (collect on another platform)
+//
+// -platform picks any class-matched platform from the registry and
+// -platform-dir overlays extra *.pdef/*.json definitions; both apply only
+// when collecting (they cannot be combined with -in).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +24,7 @@ import (
 	"github.com/perfmetrics/eventlens/internal/catio"
 	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/core"
+	"github.com/perfmetrics/eventlens/internal/machine"
 	"github.com/perfmetrics/eventlens/internal/suite"
 )
 
@@ -39,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	explain := fs.String("explain", "", "explain what a raw event measures in the benchmark's basis ('all' for every kept event)")
 	ratios := fs.Bool("ratios", false, "also derive the benchmark's standard ratio metrics")
 	minimal := fs.Bool("minimal", false, "collect only the minimal spanning kernel subset (similarity-clustered points)")
+	platformName := fs.String("platform", "", "collect on this platform instead of the benchmark's default (class must match)")
+	platformDir := fs.String("platform-dir", "", "load extra platform definitions (*.pdef, *.json) from this directory")
 	workersFlag := fs.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = serial; output is byte-identical either way)")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
@@ -66,6 +75,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var set *core.MeasurementSet
 	if *in != "" {
+		if *platformName != "" {
+			return cli.Usagef("-platform selects a collection target; it cannot be combined with -in")
+		}
 		set, err = catio.ReadFile(*in)
 		if err != nil {
 			return err
@@ -74,16 +86,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("measurement file holds %q data, benchmark is %q", set.Benchmark, bench.Name)
 		}
 	} else {
-		platform, err := bench.NewPlatform()
-		if err != nil {
-			return err
-		}
 		runCfg := cat.RunConfig(bench.DefaultRun)
 		runCfg.Workers = *workersFlag
 		runCfg.MinimalKernels = *minimal
-		set, err = bench.Run(platform, runCfg)
-		if err != nil {
-			return err
+		if *platformName != "" || *platformDir != "" {
+			reg, err := machine.NewRegistry()
+			if err != nil {
+				return err
+			}
+			if *platformDir != "" {
+				if _, err := reg.LoadDir(*platformDir); err != nil {
+					return err
+				}
+			}
+			name := *platformName
+			if name == "" {
+				// A platform dir without -platform still collects on the
+				// benchmark's default platform (possibly overridden in dir).
+				p, err := bench.NewPlatform()
+				if err != nil {
+					return err
+				}
+				name = p.Name
+			}
+			platform, err := reg.New(name)
+			if err != nil {
+				return err
+			}
+			set, err = bench.CollectOn(context.Background(), platform, runCfg)
+			if err != nil {
+				return err
+			}
+		} else {
+			platform, err := bench.NewPlatform()
+			if err != nil {
+				return err
+			}
+			set, err = bench.Run(platform, runCfg)
+			if err != nil {
+				return err
+			}
 		}
 	}
 

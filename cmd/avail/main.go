@@ -25,29 +25,38 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("avail", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	platformName := fs.String("platform", "spr", "platform: spr, mi250x, zen4")
+	platformName := fs.String("platform", "spr", "platform name or its -sim shorthand (see -list)")
+	platformDir := fs.String("platform-dir", "", "load extra platform definitions (*.pdef, *.json) from this directory")
+	list := fs.Bool("list", false, "list the registered platforms and exit")
 	grep := fs.String("grep", "", "only list events whose name contains this substring")
 	counts := fs.Bool("counts", false, "print catalog statistics only")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 
-	var (
-		p   *machine.Platform
-		err error
-	)
-	switch *platformName {
-	case "spr":
-		p, err = machine.SapphireRapids()
-	case "mi250x":
-		p, err = machine.MI250X()
-	case "zen4":
-		p, err = machine.Zen4()
-	default:
-		return cli.Usagef("unknown platform %q (have spr, mi250x, zen4)", *platformName)
-	}
+	reg, err := machine.NewRegistry()
 	if err != nil {
 		return err
+	}
+	if *platformDir != "" {
+		if _, err := reg.LoadDir(*platformDir); err != nil {
+			return err
+		}
+	}
+	if *list {
+		for _, name := range reg.Names() {
+			def, err := reg.Def(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-20s %-4s %6d events  %3d counters\n",
+				name, def.Class, len(def.Events), def.Counters)
+		}
+		return nil
+	}
+	p, err := reg.New(*platformName)
+	if err != nil {
+		return cli.Usagef("%v", err)
 	}
 
 	names := p.Catalog.SortedNames()

@@ -11,10 +11,17 @@
 //	figures                 (all figures)
 //	figures -fig 2a         (one variability figure)
 //	figures -fig 3          (the cache approximation figures)
+//	figures -fig matrix     (the cross-architecture composability matrix)
 //	figures -csv            (emit CSV instead of ASCII plots)
+//
+// The matrix mode runs the full pipeline per (platform, benchmark) pair over
+// every registered platform — extend the set with -platform-dir — and prints
+// the paper-style composability grid; -json emits the canonical envelope
+// byte-identical to the daemon's /v1/matrix response.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +30,8 @@ import (
 	"github.com/perfmetrics/eventlens/internal/cli"
 	"github.com/perfmetrics/eventlens/internal/core"
 	"github.com/perfmetrics/eventlens/internal/cpusim"
+	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/matrix"
 	"github.com/perfmetrics/eventlens/internal/suite"
 	"github.com/perfmetrics/eventlens/internal/textplot"
 )
@@ -34,12 +43,21 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "", "figure to regenerate: 1, 2a, 2b, 2c, 2d, 3 (default all)")
+	fig := fs.String("fig", "", "figure to regenerate: 1, 2a, 2b, 2c, 2d, 3, matrix (default all but matrix)")
 	csv := fs.Bool("csv", false, "emit CSV data instead of ASCII plots")
+	platformDir := fs.String("platform-dir", "", "matrix: load extra platform definitions (*.pdef, *.json) from this directory")
+	platforms := fs.String("platforms", "", "matrix: comma-separated platforms (default every registered platform)")
+	benchmarks := fs.String("benchmarks", "", "matrix: comma-separated benchmarks (default every class-matched benchmark)")
+	minimal := fs.Bool("minimal", false, "matrix: collect with minimal spanning kernel selection")
+	faults := fs.String("faults", "", "matrix: deterministic fault-injection spec, e.g. seed=7,transient=0.2")
+	jsonOut := fs.Bool("json", false, "matrix: emit the canonical JSON envelope instead of the text grid")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 
+	if *fig == "matrix" {
+		return figureMatrix(stdout, *platformDir, *platforms, *benchmarks, *minimal, *faults, *jsonOut)
+	}
 	if *fig == "" || *fig == "1" {
 		figure1(stdout)
 	}
@@ -56,6 +74,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// figureMatrix renders the cross-architecture composability matrix: the
+// full pipeline per class-matched (platform, benchmark) pair, one verdict
+// and backward error per metric cell. The -json envelope is byte-identical
+// to the daemon's /v1/matrix response for the same request.
+func figureMatrix(w io.Writer, platformDir, platforms, benchmarks string, minimal bool, faults string, jsonOut bool) error {
+	reg, err := machine.NewRegistry()
+	if err != nil {
+		return err
+	}
+	if platformDir != "" {
+		if _, err := reg.LoadDir(platformDir); err != nil {
+			return err
+		}
+	}
+	req := matrix.Request{
+		Platforms:  cli.SplitList(platforms),
+		Benchmarks: cli.SplitList(benchmarks),
+		Minimal:    minimal,
+		Faults:     faults,
+	}
+	report, err := matrix.Run(context.Background(), reg, req)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		_, err := w.Write(matrix.NewEnvelope(report).CanonicalJSON())
+		return err
+	}
+	_, err = io.WriteString(w, report.Format())
+	return err
 }
 
 // figure1 renders the structure of the K_SCAL microkernel (the paper's

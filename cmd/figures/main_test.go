@@ -46,3 +46,35 @@ func TestFlagSmoke(t *testing.T) {
 		t.Errorf("unknown figure printed output: %q", out)
 	}
 }
+
+// TestGoldenMatrix pins the composability-matrix grid for a small
+// cross-architecture slice, and the -json envelope's byte-identity to the
+// matrix package's canonical rendering.
+func TestGoldenMatrix(t *testing.T) {
+	goldie.Assert(t, "figure-matrix", []byte(runCmd(t,
+		"-fig", "matrix", "-platforms", "spr,graviton", "-benchmarks", "branch")))
+}
+
+// TestMatrixFlagSmoke covers the matrix mode's error paths: unknown
+// platforms, class mismatches and bad fault specs are reported, and the
+// -json output is byte-identical across runs.
+func TestMatrixFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-fig", "matrix", "-platforms", "m2max"}, &stdout, &stderr); err == nil {
+		t.Error("unknown platform did not error")
+	}
+	if err := run([]string{"-fig", "matrix", "-platforms", "mi250x", "-benchmarks", "branch"}, &stdout, &stderr); err == nil {
+		t.Error("class mismatch did not error")
+	}
+	if err := run([]string{"-fig", "matrix", "-faults", "wat"}, &stdout, &stderr); err == nil {
+		t.Error("bad fault spec did not error")
+	}
+	a := runCmd(t, "-fig", "matrix", "-platforms", "graviton", "-benchmarks", "branch", "-json")
+	b := runCmd(t, "-fig", "matrix", "-platforms", "graviton-sim", "-benchmarks", "branch", "-json")
+	if a != b {
+		t.Error("platform alias changed the JSON envelope")
+	}
+	if !strings.Contains(a, `"matrix"`) {
+		t.Errorf("envelope missing the text grid field:\n%s", a)
+	}
+}

@@ -11,9 +11,11 @@
 //
 //	GET    /healthz                  liveness
 //	GET    /metrics                  Prometheus text-format metrics
-//	GET    /v1/platforms             simulated platforms
+//	GET    /v1/platforms             simulated platforms (built-in + -platform-dir)
 //	GET    /v1/benchmarks            CAT benchmark registry
 //	POST   /v1/analyze               run the pipeline (cached)
+//	POST   /v1/events/validate       event-trust validation (cached)
+//	POST   /v1/matrix                cross-architecture composability matrix (cached)
 //	POST   /v1/metrics/define        solve one signature against an analysis
 //	POST   /v1/events/explain        decode raw events in basis vocabulary
 //	GET    /v1/presets/{benchmark}   PAPI-style preset definitions
@@ -60,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	chaos := fs.String("chaos", "", "deterministic fault-injection spec for daemon seams, e.g. seed=7,http503=0.1,transient=0.2 (empty = off)")
 	jobRetries := fs.Int("job-retries", 0, "re-runs of a transiently faulted async job (0 = the chaos spec's retry budget)")
 	storeDir := fs.String("store-dir", "", "persistent result-store directory; analyses survive restarts (empty = off)")
+	platformDir := fs.String("platform-dir", "", "load extra platform definitions (*.pdef, *.json) into the registry (empty = built-ins only)")
 	peers := fs.String("peers", "", "comma-separated base URLs of every replica in the serving tier, including this one (empty = single replica)")
 	selfURL := fs.String("self-url", "", "this replica's own base URL as listed in -peers")
 	maxSync := fs.Int("max-sync", 0, "concurrent synchronous analyses admitted before 429 (0 = 4x GOMAXPROCS)")
@@ -80,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Chaos:           *chaos,
 		JobRetries:      *jobRetries,
 		StoreDir:        *storeDir,
+		PlatformDir:     *platformDir,
 		SelfURL:         *selfURL,
 		MaxSyncCompute:  *maxSync,
 	}

@@ -17,6 +17,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,7 +27,10 @@ import (
 	"strings"
 
 	"github.com/perfmetrics/eventlens/internal/cli"
+	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/matrix"
 	"github.com/perfmetrics/eventlens/internal/oracle"
+	"github.com/perfmetrics/eventlens/internal/platdef"
 	"github.com/perfmetrics/eventlens/internal/suite"
 )
 
@@ -136,6 +141,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		results = append(results, res)
 	}
 
+	// Platform-data lane: every committed platform definition must
+	// regenerate byte-identically from the platform it loads into, and the
+	// composability matrix must be worker-count independent.
+	fmt.Fprintln(stdout, "\nplatform-data checks:")
+	res := checkPlatdefByteIdentity()
+	fmt.Fprintln(stdout, res.String())
+	results = append(results, res)
+	res = checkMatrixDeterminism()
+	fmt.Fprintln(stdout, res.String())
+	results = append(results, res)
+
 	// Golden lane: every CLI must have committed snapshots.
 	if !*skipGoldens {
 		fmt.Fprintln(stdout)
@@ -176,6 +192,64 @@ func selectBenchmarks(filter string) ([]suite.Benchmark, error) {
 		out = append(out, b)
 	}
 	return out, nil
+}
+
+// checkPlatdefByteIdentity round-trips every committed platform definition:
+// file bytes -> loaded platform -> exported definition -> canonical bytes
+// must reproduce the file exactly. A mismatch means the loader, the
+// exporter, or the committed data drifted.
+func checkPlatdefByteIdentity() oracle.CheckResult {
+	res := oracle.CheckResult{Name: "platdef/byte-identity"}
+	for _, name := range platdef.BuiltinNames() {
+		res.Cases++
+		want, err := platdef.BuiltinBytes(name)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		p, err := machine.BuiltinPlatform(name)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		def, err := machine.ExportDef(p)
+		if err != nil {
+			res.Err = fmt.Errorf("platform %s: %v", name, err)
+			return res
+		}
+		if !bytes.Equal(def.Canonical(), want) {
+			res.Err = fmt.Errorf("platform %s: exported canonical bytes differ from the committed file", name)
+			return res
+		}
+	}
+	return res
+}
+
+// checkMatrixDeterminism runs one composability-matrix slice serially and in
+// parallel; the canonical envelopes must be byte-identical.
+func checkMatrixDeterminism() oracle.CheckResult {
+	res := oracle.CheckResult{Name: "matrix/worker-determinism", Cases: 2}
+	reg, err := machine.NewRegistry()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	req := matrix.Request{Platforms: []string{"spr", "graviton"}, Benchmarks: []string{"branch"}, Workers: 1}
+	serial, err := matrix.Run(context.Background(), reg, req)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	req.Workers = 8
+	parallel, err := matrix.Run(context.Background(), reg, req)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if !bytes.Equal(matrix.NewEnvelope(serial).CanonicalJSON(), matrix.NewEnvelope(parallel).CanonicalJSON()) {
+		res.Err = fmt.Errorf("matrix envelope differs between Workers=1 and Workers=8")
+	}
+	return res
 }
 
 // checkGoldens verifies each golden CLI has at least one committed snapshot.

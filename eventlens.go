@@ -106,11 +106,6 @@ var (
 	MaxRNMSE = core.MaxRNMSE
 	// FilterNoise runs the Section IV noise analysis.
 	FilterNoise = core.FilterNoise
-	// ProjectEvent expresses one measurement vector in a basis.
-	//
-	// Deprecated: it refactorizes the basis on every call; use NewProjector
-	// (one factorization, many projections) or BuildX.
-	ProjectEvent = core.ProjectEvent
 	// NewProjector factorizes a basis once for repeated projections.
 	NewProjector = core.NewProjector
 	// BuildX projects all kept events and assembles the QRCP input.

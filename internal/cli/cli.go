@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // UsageError marks a command-line usage problem; Main exits 2 for it — the
@@ -43,6 +44,18 @@ func ParseFlags(fs *flag.FlagSet, args []string) error {
 		return &UsageError{Err: err, Quiet: true}
 	}
 	return nil
+}
+
+// SplitList splits a comma-separated flag value into its trimmed non-empty
+// entries; an empty or all-whitespace value yields nil (the flag's default).
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // Main runs a command against the process streams and exits: 0 on success or

@@ -6,7 +6,7 @@
 //
 // The stages map one-to-one onto the paper's sections:
 //
-//	Section III  -> Basis, ProjectEvent, BuildX
+//	Section III  -> Basis, Projector, BuildX
 //	Section IV   -> MaxRNMSE, FilterNoise, MedianOverThreads
 //	Section V    -> SpecializedQRCP (Algorithm 2), RoundToGrid, Score
 //	Section VI   -> DefineMetric, BackwardError, Rounded

@@ -90,7 +90,11 @@ func TestProjectEventPaperExample(t *testing.T) {
 	// itself; projecting it recovers the representation (1, 8).
 	b := paperToyBasis(t)
 	m := []float64{24, 48, 96, 96, 192, 384}
-	p, err := ProjectEvent(b, "DP_FLOPS", m)
+	proj, err := NewProjector(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proj.Project("DP_FLOPS", m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +109,11 @@ func TestProjectEventPaperExample(t *testing.T) {
 func TestProjectEventUnrepresentable(t *testing.T) {
 	// A constant vector is far from the span of the loop-proportional basis.
 	b := paperToyBasis(t)
-	p, err := ProjectEvent(b, "CONST", []float64{5, 5, 5, 5, 5, 5})
+	proj, err := NewProjector(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := proj.Project("CONST", []float64{5, 5, 5, 5, 5, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +124,11 @@ func TestProjectEventUnrepresentable(t *testing.T) {
 
 func TestProjectEventLengthMismatch(t *testing.T) {
 	b := paperToyBasis(t)
-	if _, err := ProjectEvent(b, "bad", []float64{1, 2}); err == nil {
+	proj, err := NewProjector(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proj.Project("bad", []float64{1, 2}); err == nil {
 		t.Fatalf("length mismatch should fail")
 	}
 }

@@ -18,22 +18,6 @@ type Projection struct {
 	RelResidual float64
 }
 
-// ProjectEvent solves E * x = m by least squares for one event measurement
-// vector.
-//
-// Deprecated: ProjectEvent refactorizes the basis on every call — an O(p·d²)
-// Householder QR repeated per event. For projecting more than one event
-// against the same basis, use NewProjector once and call Project per event;
-// BuildX does this (in parallel) for whole catalogs. ProjectEvent remains for
-// genuinely one-shot projections and API compatibility.
-func ProjectEvent(b *Basis, event string, m []float64) (*Projection, error) {
-	p, err := NewProjector(b)
-	if err != nil {
-		return nil, err
-	}
-	return p.Project(event, m)
-}
-
 // Projector projects measurement vectors onto a basis using a Householder
 // QR factorization of E computed once — projecting an n-event catalog costs
 // one factorization plus n cheap triangular solves instead of n

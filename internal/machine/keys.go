@@ -47,6 +47,33 @@ const (
 	KeyGPUFlops   = "gpu.flops"
 )
 
+// KeyUniverse returns every ground-truth stat key a workload simulator can
+// populate, in a fixed deterministic order: the named keys above plus the
+// full FPKey and GPUValuKey families. It is the probe set ExportDef uses to
+// recover an event's linear response coefficients — an event responding to
+// a key outside this universe would read zero on every benchmark anyway.
+func KeyUniverse() []string {
+	keys := []string{
+		KeyInstr, KeyCycles, KeyIntOps, KeyLoads, KeyStores, KeyCPUFlops,
+		KeyBrCE, KeyBrCR, KeyBrTaken, KeyBrDirect, KeyBrMisp,
+		KeyL1Hit, KeyL1Miss, KeyL2Hit, KeyL2Miss, KeyL3Hit, KeyL3Miss,
+		KeyMemAcc, KeyAccess,
+		KeyDTLBMiss, KeySTLBMiss, KeyWalks,
+		KeyGPUValuAll, KeyGPUSalu, KeyGPUWaves, KeyGPUCycles, KeyGPUFlops,
+	}
+	for _, prec := range []string{"sp", "dp"} {
+		for _, width := range []string{"scalar", "128", "256", "512"} {
+			keys = append(keys, FPKey(prec, width, false), FPKey(prec, width, true))
+		}
+	}
+	for _, op := range []string{"add", "sub", "mul", "trans", "fma"} {
+		for _, prec := range []string{"f16", "f32", "f64"} {
+			keys = append(keys, GPUValuKey(op, prec))
+		}
+	}
+	return keys
+}
+
 // FPKey returns the stat key for a CPU floating-point instruction class,
 // e.g. FPKey("dp", "256", true) -> "cpu.fp.dp.256.fma".
 func FPKey(prec, width string, fma bool) string {

@@ -76,21 +76,6 @@ func (e EventDef) DocExpectation(s Stats) (float64, bool) {
 	return v, true
 }
 
-// docTerms is the catalog builders' helper for the common case where the
-// documentation and the silicon agree: a defensive copy of the response
-// terms, preserving the nil (undocumented) vs. empty (documented to count
-// nothing here) distinction.
-func docTerms(terms map[string]float64) map[string]float64 {
-	if terms == nil {
-		return nil
-	}
-	out := make(map[string]float64, len(terms))
-	for k, v := range terms {
-		out[k] = v
-	}
-	return out
-}
-
 // Catalog is an ordered set of event definitions.
 type Catalog struct {
 	events []EventDef
@@ -142,6 +127,9 @@ type Platform struct {
 	// Name identifies the platform (part of every noise seed, so two
 	// platforms never share noise streams).
 	Name string
+	// Class is the platform's architecture class ("cpu" or "gpu"); it
+	// gates which benchmarks the cross-platform matrix runs on it.
+	Class string
 	// Catalog is the raw-event catalog.
 	Catalog *Catalog
 	// Counters is the number of physical programmable counters; measuring

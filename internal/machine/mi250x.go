@@ -1,11 +1,10 @@
 package machine
 
-import "fmt"
-
-// MI250X constructs the simulated AMD-MI250X-like GPU platform: the
-// SQ_INSTS_VALU_* family the analysis should discover, plus the very long
-// tail of per-channel cache, texture, and command-processor counters that
-// real ROCm profiling exposes (over a thousand events per device).
+// MI250X loads the simulated AMD-MI250X-like GPU platform from its
+// committed definition file (internal/platdef/platforms/mi250x-sim.pdef):
+// the SQ_INSTS_VALU_* family the analysis should discover, plus the very
+// long tail of per-channel cache, texture, and command-processor counters
+// that real ROCm profiling exposes (over a thousand events per device).
 //
 // Architectural quirks modelled faithfully:
 //
@@ -20,150 +19,5 @@ import "fmt"
 //     and are discarded as irrelevant — faithfully reproducing the huge
 //     nominal catalog with a much smaller analyzable core.
 func MI250X() (*Platform, error) {
-	var events []EventDef
-
-	lin := func(name, desc string, rel float64, terms map[string]float64) EventDef {
-		return EventDef{
-			Name: name, Desc: desc, RelNoise: rel,
-			Respond: linearResponse(terms),
-			Doc:     docTerms(terms),
-		}
-	}
-	zero := func(s Stats) float64 { return 0 }
-
-	// --- The VALU instruction family (deterministic). device=0 is live;
-	// devices 1..7 exist in the catalog but read zero. ---
-	type opMap struct {
-		event string
-		stats []string // ground-truth op keys merged into this event
-	}
-	ops := []opMap{
-		{"ADD", []string{"add", "sub"}}, // ADD counts subtractions too
-		{"MUL", []string{"mul"}},
-		{"TRANS", []string{"trans"}},
-		{"FMA", []string{"fma"}},
-	}
-	for dev := 0; dev < 8; dev++ {
-		for _, op := range ops {
-			for _, prec := range []string{"f16", "f32", "f64"} {
-				name := fmt.Sprintf("rocm:::SQ_INSTS_VALU_%s_F%s:device=%d", op.event, prec[1:], dev)
-				if dev != 0 {
-					events = append(events, EventDef{
-						Name: name, Desc: "VALU instructions on an idle device",
-						Respond: zero,
-						// Documented (to count VALU instructions on its
-						// device) — and the benchmark only drives device 0,
-						// so the documented expectation here is zero.
-						Doc: map[string]float64{},
-					})
-					continue
-				}
-				terms := make(map[string]float64, len(op.stats))
-				for _, st := range op.stats {
-					terms[GPUValuKey(st, prec)] = 1
-				}
-				def := lin(name, "retired VALU instructions", 0, terms)
-				if op.event == "ADD" {
-					// The Table VI quirk: documented as additions only, but
-					// the silicon counts subtractions too.
-					def.Doc = map[string]float64{GPUValuKey("add", prec): 1}
-				}
-				events = append(events, def)
-			}
-		}
-	}
-	// Aggregates and scalar-side events on device 0.
-	events = append(events,
-		lin("rocm:::SQ_INSTS_VALU:device=0", "all VALU instructions", 0,
-			map[string]float64{KeyGPUValuAll: 1}),
-		lin("rocm:::SQ_INSTS_SALU:device=0", "scalar ALU instructions", 0,
-			map[string]float64{KeyGPUSalu: 1}),
-		lin("rocm:::SQ_INSTS_SMEM:device=0", "scalar memory instructions", 0,
-			map[string]float64{KeyGPUWaves: 2}),
-		lin("rocm:::SQ_WAVES:device=0", "wavefronts dispatched", 0,
-			map[string]float64{KeyGPUWaves: 1}),
-		lin("rocm:::SQ_BUSY_CYCLES:device=0", "SQ busy cycles", 3e-4,
-			map[string]float64{KeyGPUCycles: 1}),
-		lin("rocm:::SQ_WAIT_ANY:device=0", "wave wait cycles", 2e-2,
-			map[string]float64{KeyGPUCycles: 0.2}),
-		lin("rocm:::GRBM_GUI_ACTIVE:device=0", "graphics pipe active cycles", 8e-4,
-			map[string]float64{KeyGPUCycles: 1.05}),
-		lin("rocm:::GRBM_COUNT:device=0", "free-running GRBM clock", 1e-3,
-			map[string]float64{KeyGPUCycles: 1.2}),
-	)
-	// Documented-vs-silicon divergence: the free-running GRBM clock is
-	// documented at the shader clock rate but ticks 1.2x faster here — the
-	// validator's "scaled" class on this platform.
-	for i := range events {
-		if events[i].Name == "rocm:::GRBM_COUNT:device=0" {
-			events[i].Doc = map[string]float64{KeyGPUCycles: 1}
-		}
-	}
-
-	// --- Generated filler families (device 0): per-channel L2 (TCC),
-	// per-CU texture/vector-memory units (TCP/TA/TD), workload distribution
-	// (SPI), command processors (CPC/CPF), DMA and memory controllers. ---
-	events = append(events, mi250xFillerEvents()...)
-
-	cat, err := NewCatalog(events)
-	if err != nil {
-		return nil, err
-	}
-	return &Platform{Name: "mi250x-sim", Catalog: cat, Counters: 8}, nil
-}
-
-// mi250xFillerEvents generates the bulk of the GPU catalog. The GPU-FLOPs
-// benchmark has no data traffic, so cache-path counters respond only to the
-// small per-wave launch overhead, with large relative noise — the wide noisy
-// tail of Figure 2c.
-func mi250xFillerEvents() []EventDef {
-	type family struct {
-		prefix   string
-		metrics  []string
-		channels int
-		drivers  []string
-		noiseLo  float64
-		noiseHi  float64
-	}
-	families := []family{
-		{"TCC", []string{"HIT", "MISS", "REQ", "READ", "WRITE", "WRITEBACK", "EA_RDREQ", "EA_WRREQ", "TAG_STALL", "NORMAL_WRITEBACK", "ALL_CYCLES", "BUSY"}, 32, []string{KeyGPUWaves}, 1e-2, 1e1},
-		{"TCP", []string{"TCC_READ_REQ", "TCC_WRITE_REQ", "TOTAL_CACHE_ACCESSES", "PENDING_STALL_CYCLES", "TCP_LATENCY", "TA_TCP_STATE_READ", "VOLATILE"}, 16, []string{KeyGPUWaves}, 1e-2, 1e1},
-		{"UTCL2", []string{"REQUEST", "HIT", "MISS", "STALL"}, 8, []string{KeyGPUWaves}, 1e-2, 1e1},
-		{"ATC", []string{"REQ", "HIT", "MISS"}, 4, nil, 0, 0},
-		{"SQ_EXTRA", []string{"INSTS", "INSTS_VMEM_WR", "INSTS_VMEM_RD", "INSTS_BRANCH", "INSTS_SENDMSG", "INSTS_EXP_GDS", "INSTS_FLAT", "ACCUM_PREV", "CYCLES", "BUSY_CU_CYCLES", "ITEMS", "WAVE_CYCLES", "WAIT_INST_LDS", "ACTIVE_INST_VALU", "INST_CYCLES_SALU", "THREAD_CYCLES_VALU"}, 1, []string{KeyGPUCycles, KeyGPUWaves}, 1e-3, 1e0},
-		{"TA", []string{"TA_BUSY", "BUFFER_WAVEFRONTS", "BUFFER_READ_WAVEFRONTS", "FLAT_WAVEFRONTS", "FLAT_READ_WAVEFRONTS", "FLAT_WRITE_WAVEFRONTS", "TOTAL_WAVEFRONTS"}, 16, []string{KeyGPUWaves}, 1e-2, 1e1},
-		{"TD", []string{"TD_BUSY", "LOAD_WAVEFRONT", "STORE_WAVEFRONT", "COALESCABLE_WAVEFRONT", "SPI_STALL"}, 16, []string{KeyGPUWaves}, 1e-2, 1e1},
-		{"SPI", []string{"CSN_BUSY", "CSN_WINDOW_VALID", "CSN_NUM_THREADGROUPS", "CSN_WAVE", "RA_REQ_NO_ALLOC", "RA_RES_STALL_CSN", "SWC_CSC_WR", "VWC_CSC_WR", "RA_WAVE_SIMD_FULL_CSN", "RA_VGPR_SIMD_FULL_CSN"}, 8, []string{KeyGPUWaves, KeyGPUCycles}, 1e-3, 1e0},
-		{"EA", []string{"RDREQ", "WRREQ", "RDREQ_DRAM", "WRREQ_DRAM", "EA_CYCLES"}, 16, []string{KeyGPUWaves}, 1e-2, 1e1},
-		{"RLC", []string{"BUSY_CYCLES", "CP_REQ", "GFX_IDLE"}, 2, []string{KeyGPUCycles}, 1e-3, 1e0},
-		{"GRBM_EXTRA", []string{"SPI_BUSY", "TA_BUSY", "TC_BUSY", "CP_BUSY", "GDS_BUSY", "EA_BUSY"}, 2, []string{KeyGPUCycles}, 1e-3, 1e0},
-		{"CPC", []string{"ME1_BUSY_FOR_PACKET_DECODE", "UTCL1_STALL_ON_TRANSLATION", "ALWAYS_COUNT", "CPC_STAT_BUSY"}, 2, []string{KeyGPUCycles}, 1e-3, 1e0},
-		{"CPF", []string{"CMP_UTCL1_STALL_ON_TRANSLATION", "CPF_STAT_BUSY", "CPF_STAT_IDLE"}, 2, []string{KeyGPUCycles}, 1e-3, 1e0},
-		{"SDMA", []string{"BUSY_CYCLES", "REQ_COUNT"}, 8, nil, 0, 0},
-		{"UMC", []string{"CAS_COUNT_RD", "CAS_COUNT_WR", "ACT_COUNT"}, 16, nil, 0, 0},
-		{"GDS", []string{"DS_ADDR_CONFLICT", "WRITE_REQ", "READ_REQ"}, 4, nil, 0, 0},
-		{"SQC", []string{"ICACHE_REQ", "ICACHE_HITS", "ICACHE_MISSES", "DCACHE_REQ", "DCACHE_HITS"}, 8, []string{KeyGPUWaves}, 1e-3, 1e0},
-	}
-	var events []EventDef
-	for _, fam := range families {
-		for _, metric := range fam.metrics {
-			for ch := 0; ch < fam.channels; ch++ {
-				name := fmt.Sprintf("rocm:::%s_%s[%d]:device=0", fam.prefix, metric, ch)
-				h := nameHash(name)
-				def := EventDef{Name: name, Desc: "generated GPU filler event"}
-				if len(fam.drivers) == 0 {
-					def.Respond = linearResponse(nil)
-				} else {
-					terms := make(map[string]float64, len(fam.drivers))
-					for di, d := range fam.drivers {
-						terms[d] = 0.02 + float64((h>>(8*uint(di)))&0xff)/256
-					}
-					def.Respond = linearResponse(terms)
-					def.RelNoise = spreadNoise(h, fam.noiseLo, fam.noiseHi)
-				}
-				events = append(events, def)
-			}
-		}
-	}
-	return events
+	return BuiltinPlatform("mi250x-sim")
 }

@@ -1,0 +1,170 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+	"github.com/perfmetrics/eventlens/internal/platdef"
+)
+
+// This file is the bridge between the pure-data platform definitions
+// (internal/platdef) and live simulated platforms: FromDef loads a
+// definition, ExportDef recovers one by probing. The two are exact inverses
+// for linear catalogs — FromDef(ExportDef(p)) responds bitwise-identically
+// to p on every input — which is how the committed .pdef files are proven
+// byte-identical replacements for the hand-coded builders they came from.
+
+// FromDef builds a live platform from a validated definition. Response
+// functions are linearResponse over the definition's terms — summed in
+// key-sorted order, so two platforms built from equal definitions read
+// bitwise-identical values.
+func FromDef(def *platdef.Platform) (*Platform, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, k := range KeyUniverse() {
+		known[k] = true
+	}
+	events := make([]EventDef, 0, len(def.Events))
+	for _, e := range def.Events {
+		for _, t := range e.Respond {
+			if !known[t.Key] {
+				return nil, fmt.Errorf("machine: platform %q event %q responds to unknown stat key %q", def.Name, e.Name, t.Key)
+			}
+		}
+		for _, t := range e.Doc {
+			if !known[t.Key] {
+				return nil, fmt.Errorf("machine: platform %q event %q documents unknown stat key %q", def.Name, e.Name, t.Key)
+			}
+		}
+		ev := EventDef{
+			Name: e.Name, Desc: e.Desc,
+			RelNoise: e.RelNoise, AbsNoise: e.AbsNoise,
+			Respond: linearResponse(termMap(e.Respond)),
+		}
+		if e.Documented {
+			ev.Doc = make(map[string]float64, len(e.Doc))
+			for _, t := range e.Doc {
+				ev.Doc[t.Key] = t.Coeff
+			}
+		}
+		events = append(events, ev)
+	}
+	cat, err := NewCatalog(events)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Name:     def.Name,
+		Class:    def.Class,
+		Catalog:  cat,
+		Counters: def.Counters,
+	}
+	if len(def.Constraints) > 0 {
+		p.Constraints = make(map[string]CounterConstraint, len(def.Constraints))
+		for _, c := range def.Constraints {
+			cc := CounterConstraint{Fixed: c.Fixed}
+			if len(c.Allowed) > 0 {
+				cc.Allowed = append([]int(nil), c.Allowed...)
+			}
+			p.Constraints[c.Event] = cc
+		}
+	}
+	return p, nil
+}
+
+func termMap(terms []platdef.Term) map[string]float64 {
+	if len(terms) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		m[t.Key] = t.Coeff
+	}
+	return m
+}
+
+// ExportDef recovers a platform's pure-data definition by probing each
+// event's response function over the ground-truth key universe. Probing is
+// exact for the linear responses this package builds: Respond on a
+// single-key Stats{k: 1} returns the coefficient of k bitwise (c*1 == c,
+// and the other terms contribute c*0 which never perturbs the sum), so the
+// recovered terms reproduce the original response function exactly.
+//
+// Responses that are not linear over the universe are detected and
+// rejected: a non-zero response at the origin, or a composite probe that
+// the recovered terms fail to reproduce bitwise.
+func ExportDef(p *Platform) (*platdef.Platform, error) {
+	keys := KeyUniverse()
+	composite := make(Stats, len(keys))
+	for i, k := range keys {
+		// Distinct, exactly representable values so coefficient mixups
+		// cannot cancel.
+		composite[k] = float64(2 + 3*i)
+	}
+	def := &platdef.Platform{
+		Name:     p.Name,
+		Class:    p.Class,
+		Counters: p.Counters,
+	}
+	for _, name := range p.Catalog.Names() {
+		ev, _ := p.Catalog.Lookup(name)
+		if v := ev.Respond(Stats{}); !mat.IsZero(v) {
+			return nil, fmt.Errorf("machine: event %q responds %g at the origin; not linear", name, v)
+		}
+		var terms []platdef.Term
+		for _, k := range keys {
+			if c := ev.Respond(Stats{k: 1}); !mat.IsZero(c) {
+				terms = append(terms, platdef.Term{Key: k, Coeff: c})
+			}
+		}
+		sort.Slice(terms, func(i, j int) bool { return terms[i].Key < terms[j].Key })
+		// The recovered terms must reproduce the live response bitwise on a
+		// composite input: summing coeff*value in the same key-sorted order
+		// linearResponse uses.
+		var want float64
+		for _, t := range terms {
+			want += t.Coeff * composite.Get(t.Key)
+		}
+		if got := ev.Respond(composite); !mat.ExactEq(got, want) {
+			return nil, fmt.Errorf("machine: event %q response is not linear over the key universe (probe %g, recovered %g)", name, got, want)
+		}
+		out := platdef.Event{
+			Name: name, Desc: ev.Desc,
+			RelNoise: ev.RelNoise, AbsNoise: ev.AbsNoise,
+			Respond: terms,
+		}
+		if ev.Doc != nil {
+			out.Documented = true
+			docKeys := make([]string, 0, len(ev.Doc))
+			for k := range ev.Doc {
+				docKeys = append(docKeys, k)
+			}
+			sort.Strings(docKeys)
+			for _, k := range docKeys {
+				out.Doc = append(out.Doc, platdef.Term{Key: k, Coeff: ev.Doc[k]})
+			}
+		}
+		def.Events = append(def.Events, out)
+	}
+	conEvents := make([]string, 0, len(p.Constraints))
+	for event := range p.Constraints {
+		conEvents = append(conEvents, event)
+	}
+	sort.Strings(conEvents)
+	for _, event := range conEvents {
+		cc := p.Constraints[event]
+		c := platdef.Constraint{Event: event, Fixed: cc.Fixed}
+		if len(cc.Allowed) > 0 {
+			c.Allowed = append([]int(nil), cc.Allowed...)
+			sort.Ints(c.Allowed)
+		}
+		def.Constraints = append(def.Constraints, c)
+	}
+	if err := def.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: exported definition of %s invalid: %w", p.Name, err)
+	}
+	return def, nil
+}

@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/platdef"
+)
+
+// Registry resolves platform names to definitions: the committed built-in
+// platforms, optionally extended (or overridden) by definitions loaded from
+// a directory — the CLIs' -platform-dir flag. A registry is built once and
+// read concurrently; LoadDir must not race with readers.
+type Registry struct {
+	order []string
+	defs  map[string]*platdef.Platform
+}
+
+// NewRegistry returns a registry holding the built-in platforms in
+// canonical listing order.
+func NewRegistry() (*Registry, error) {
+	r := &Registry{defs: make(map[string]*platdef.Platform)}
+	for _, name := range platdef.BuiltinNames() {
+		def, err := platdef.Builtin(name)
+		if err != nil {
+			return nil, err
+		}
+		r.order = append(r.order, name)
+		r.defs[name] = def
+	}
+	return r, nil
+}
+
+// LoadDir loads every platform definition in dir into the registry,
+// returning the names loaded. A definition whose name matches an existing
+// platform replaces it in place; new names append in file order.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	defs, err := platdef.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, def := range defs {
+		if _, exists := r.defs[def.Name]; !exists {
+			r.order = append(r.order, def.Name)
+		}
+		r.defs[def.Name] = def
+		names = append(names, def.Name)
+	}
+	return names, nil
+}
+
+// Names returns every registered platform name in listing order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Canonical resolves a platform name or its short alias (the name minus a
+// "-sim" suffix: "spr" for "spr-sim") to the registered platform name.
+func (r *Registry) Canonical(name string) (string, error) {
+	if _, ok := r.defs[name]; ok {
+		return name, nil
+	}
+	if !strings.HasSuffix(name, "-sim") {
+		if full := name + "-sim"; r.defs[full] != nil {
+			return full, nil
+		}
+	}
+	short := make([]string, 0, len(r.order))
+	for _, n := range r.order {
+		short = append(short, strings.TrimSuffix(n, "-sim"))
+	}
+	return "", fmt.Errorf("machine: unknown platform %q (have %s)", name, strings.Join(short, ", "))
+}
+
+// Def returns the definition of a registered platform (exact or aliased
+// name). The returned value is shared and must be treated as read-only.
+func (r *Registry) Def(name string) (*platdef.Platform, error) {
+	full, err := r.Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.defs[full], nil
+}
+
+// New builds a fresh live platform from a registered definition.
+func (r *Registry) New(name string) (*Platform, error) {
+	def, err := r.Def(name)
+	if err != nil {
+		return nil, err
+	}
+	return FromDef(def)
+}
+
+// BuiltinPlatform builds a live platform from a committed built-in
+// definition by exact name — the loader behind SapphireRapids, MI250X and
+// Zen4.
+func BuiltinPlatform(name string) (*Platform, error) {
+	def, err := platdef.Builtin(name)
+	if err != nil {
+		return nil, err
+	}
+	return FromDef(def)
+}

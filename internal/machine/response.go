@@ -1,0 +1,28 @@
+package machine
+
+import "sort"
+
+// linearResponse returns a response function computing a fixed linear
+// combination of ground-truth stats. The terms are frozen into key-sorted
+// order at construction: float addition is order-sensitive at the ulp
+// level, so summing in map iteration order would make event readings — and
+// therefore reports — differ between identical runs. Sorted-slice iteration
+// is also cheaper per evaluation than walking the map.
+func linearResponse(terms map[string]float64) func(Stats) float64 {
+	keys := make([]string, 0, len(terms))
+	for k := range terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	coeffs := make([]float64, len(keys))
+	for i, k := range keys {
+		coeffs[i] = terms[k]
+	}
+	return func(s Stats) float64 {
+		var v float64
+		for i, k := range keys {
+			v += coeffs[i] * s.Get(k)
+		}
+		return v
+	}
+}

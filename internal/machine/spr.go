@@ -1,16 +1,10 @@
 package machine
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-
-	"github.com/perfmetrics/eventlens/internal/mat"
-)
-
-// SapphireRapids constructs the simulated Intel-Sapphire-Rapids-like CPU
-// platform: ~350 raw events spanning the floating-point, branching and
-// memory subsystems plus a large tail of pipeline/frontend/offcore events.
+// SapphireRapids loads the simulated Intel-Sapphire-Rapids-like CPU
+// platform from its committed definition file
+// (internal/platdef/platforms/spr-sim.pdef): ~350 raw events spanning the
+// floating-point, branching and memory subsystems plus a large tail of
+// pipeline/frontend/offcore events.
 //
 // Architectural quirks modelled faithfully because the paper's results
 // depend on them:
@@ -24,339 +18,5 @@ import (
 //     Executed" metric non-composable (error 1.0 in Table VII).
 //   - Data cache events carry measurement noise; core events do not.
 func SapphireRapids() (*Platform, error) {
-	var events []EventDef
-
-	lin := func(name, desc string, rel, abs float64, terms map[string]float64) EventDef {
-		return EventDef{
-			Name: name, Desc: desc, RelNoise: rel, AbsNoise: abs,
-			Respond: linearResponse(terms),
-			// Documentation and silicon agree by default; the quirky events
-			// get their documented semantics overridden below.
-			Doc: docTerms(terms),
-		}
-	}
-
-	// --- Floating-point events (deterministic, FMA counted twice). ---
-	for _, prec := range []struct{ stat, event string }{
-		{"sp", "SINGLE"}, {"dp", "DOUBLE"},
-	} {
-		for _, width := range []struct{ stat, event string }{
-			{"scalar", "SCALAR"}, {"128", "128B_PACKED"},
-			{"256", "256B_PACKED"}, {"512", "512B_PACKED"},
-		} {
-			events = append(events, lin(
-				fmt.Sprintf("FP_ARITH_INST_RETIRED:%s_%s", width.event, prec.event),
-				"retired FP arithmetic instructions (FMA counts twice)",
-				0, 0,
-				map[string]float64{
-					FPKey(prec.stat, width.stat, false): 1,
-					FPKey(prec.stat, width.stat, true):  2,
-				}))
-		}
-	}
-	// Derived FP aggregates (linear combinations of the pure events).
-	events = append(events,
-		lin("FP_ARITH_INST_RETIRED:SCALAR", "all scalar FP instructions", 0, 0, map[string]float64{
-			FPKey("sp", "scalar", false): 1, FPKey("sp", "scalar", true): 2,
-			FPKey("dp", "scalar", false): 1, FPKey("dp", "scalar", true): 2,
-		}),
-		lin("FP_ARITH_INST_RETIRED:VECTOR", "all packed FP instructions", 0, 0, fpVectorTerms()),
-		lin("FP_ARITH_INST_RETIRED:128B_PACKED", "all 128-bit packed FP instructions", 0, 0, map[string]float64{
-			FPKey("sp", "128", false): 1, FPKey("sp", "128", true): 2,
-			FPKey("dp", "128", false): 1, FPKey("dp", "128", true): 2,
-		}),
-		lin("FP_ARITH_INST_RETIRED:256B_PACKED", "all 256-bit packed FP instructions", 0, 0, map[string]float64{
-			FPKey("sp", "256", false): 1, FPKey("sp", "256", true): 2,
-			FPKey("dp", "256", false): 1, FPKey("dp", "256", true): 2,
-		}),
-		lin("FP_ARITH_INST_RETIRED:512B_PACKED", "all 512-bit packed FP instructions", 0, 0, map[string]float64{
-			FPKey("sp", "512", false): 1, FPKey("sp", "512", true): 2,
-			FPKey("dp", "512", false): 1, FPKey("dp", "512", true): 2,
-		}),
-		lin("ASSISTS:FP", "FP assists", 0, 0, map[string]float64{}),
-		lin("ARITH:DIV_ACTIVE", "divider active cycles", 0, 0, map[string]float64{}),
-	)
-
-	// --- Branch events (deterministic; retired only, no executed). ---
-	events = append(events,
-		lin("BR_MISP_RETIRED", "mispredicted retired branches", 0, 0,
-			map[string]float64{KeyBrMisp: 1}),
-		lin("BR_INST_RETIRED:COND", "retired conditional branches", 0, 0,
-			map[string]float64{KeyBrCR: 1}),
-		lin("BR_INST_RETIRED:COND_TAKEN", "retired taken conditional branches", 0, 0,
-			map[string]float64{KeyBrTaken: 1}),
-		lin("BR_INST_RETIRED:ALL_BRANCHES", "all retired branches", 0, 0,
-			map[string]float64{KeyBrCR: 1, KeyBrDirect: 1}),
-		lin("BR_INST_RETIRED:COND_NTAKEN", "retired not-taken conditional branches", 0, 0,
-			map[string]float64{KeyBrCR: 1, KeyBrTaken: -1}),
-		lin("BR_INST_RETIRED:NEAR_TAKEN", "retired taken near branches", 0, 0,
-			map[string]float64{KeyBrTaken: 1, KeyBrDirect: 1}),
-		lin("BR_MISP_RETIRED:COND", "mispredicted retired conditional branches", 0, 0,
-			map[string]float64{KeyBrMisp: 1}),
-		lin("BR_MISP_RETIRED:COND_TAKEN", "mispredicted retired taken conditionals", 0, 0,
-			map[string]float64{KeyBrMisp: 0.5}),
-		lin("BR_INST_RETIRED:NEAR_CALL", "retired near calls", 0, 0, map[string]float64{}),
-		lin("BR_INST_RETIRED:NEAR_RETURN", "retired near returns", 0, 0, map[string]float64{}),
-		lin("BR_INST_RETIRED:FAR_BRANCH", "retired far branches", 0, 0, map[string]float64{}),
-		lin("BR_INST_RETIRED:INDIRECT", "retired indirect branches", 0, 0, map[string]float64{}),
-	)
-
-	// --- Data cache events (noisy, as the paper observes). ---
-	events = append(events,
-		lin("MEM_LOAD_RETIRED:L1_HIT", "retired loads hitting L1D", 2.2e-3, 0,
-			map[string]float64{KeyL1Hit: 1}),
-		lin("MEM_LOAD_RETIRED:L1_MISS", "retired loads missing L1D", 1.8e-3, 0,
-			map[string]float64{KeyL1Miss: 1}),
-		lin("MEM_LOAD_RETIRED:L2_HIT", "retired loads hitting L2 (imprecise)", 3.0e-1, 0,
-			map[string]float64{KeyL2Hit: 1}),
-		lin("MEM_LOAD_RETIRED:L3_HIT", "retired loads hitting L3", 2.5e-3, 0,
-			map[string]float64{KeyL3Hit: 1}),
-		lin("L2_RQSTS:DEMAND_DATA_RD_HIT", "demand data reads hitting L2", 2.0e-3, 0,
-			map[string]float64{KeyL2Hit: 1}),
-		lin("L2_RQSTS:ALL_DEMAND_DATA_RD", "all demand data reads to L2 (incl. L1 prefetch traffic)", 4.0e-3, 0,
-			map[string]float64{KeyL1Miss: 1, KeyAccess: 0.06}),
-		lin("L2_RQSTS:DEMAND_DATA_RD_MISS", "demand data reads missing L2", 5.0e-3, 0,
-			map[string]float64{KeyL2Miss: 1}),
-		lin("MEM_LOAD_RETIRED:FB_HIT", "loads hitting a pending fill buffer", 8.0e-2, 0,
-			map[string]float64{KeyL1Miss: 0.04}),
-		lin("MEM_INST_RETIRED:ALL_LOADS", "all retired load instructions", 1.0e-3, 0,
-			map[string]float64{KeyLoads: 1}),
-		lin("MEM_INST_RETIRED:ALL_STORES", "all retired store instructions", 1.0e-3, 0,
-			map[string]float64{KeyStores: 1}),
-		lin("LONGEST_LAT_CACHE:REFERENCE", "L3 references", 6.0e-3, 0,
-			map[string]float64{KeyL2Miss: 1}),
-		lin("LONGEST_LAT_CACHE:MISS", "L3 misses", 7.0e-3, 0,
-			map[string]float64{KeyL3Miss: 1}),
-		lin("OFFCORE_REQUESTS:DEMAND_DATA_RD", "offcore demand data reads", 9.0e-3, 0,
-			map[string]float64{KeyL2Miss: 1}),
-		lin("OFFCORE_REQUESTS:ALL_REQUESTS", "all offcore requests", 2.0e-2, 0,
-			map[string]float64{KeyL2Miss: 1.1}),
-		lin("L2_LINES_IN:ALL", "lines filled into L2", 1.2e-2, 0,
-			map[string]float64{KeyL2Miss: 1}),
-		lin("L2_LINES_OUT:NON_SILENT", "modified lines evicted from L2", 4.0e-2, 0,
-			map[string]float64{KeyL2Miss: 0.3}),
-	)
-
-	// --- Core clock / retirement events (low but nonzero noise: above the
-	// tau = 1e-10 threshold, so the noise filter removes them before they
-	// can dominate the QR by sheer norm). ---
-	events = append(events,
-		lin("CPU_CLK_UNHALTED:THREAD", "core clock cycles", 1.5e-4, 0,
-			map[string]float64{KeyCycles: 1}),
-		lin("CPU_CLK_UNHALTED:REF_TSC", "reference clock cycles", 2.5e-4, 0,
-			map[string]float64{KeyCycles: 0.94}),
-		lin("INST_RETIRED:ANY", "all retired instructions", 5.0e-8, 0,
-			map[string]float64{KeyInstr: 1}),
-		lin("UOPS_RETIRED:SLOTS", "retired uop slots", 3.0e-6, 0,
-			map[string]float64{KeyInstr: 1.12}),
-		lin("UOPS_ISSUED:ANY", "issued uops", 8.0e-6, 0,
-			map[string]float64{KeyInstr: 1.18, KeyBrMisp: 6}),
-		lin("UOPS_EXECUTED:THREAD", "executed uops", 2.0e-5, 0,
-			map[string]float64{KeyInstr: 1.15, KeyBrMisp: 9}),
-		lin("TOPDOWN:SLOTS", "pipeline slots", 1.0e-4, 0,
-			map[string]float64{KeyCycles: 6}),
-		lin("INT_VEC_RETIRED:ADD_128", "retired 128-bit integer vector adds", 1.0e-7, 0,
-			map[string]float64{KeyIntOps: 0.1}),
-		lin("INT_VEC_RETIRED:ADD_256", "retired 256-bit integer vector adds", 1.0e-7, 0,
-			map[string]float64{KeyIntOps: 0.05}),
-	)
-
-	// --- Documented-vs-silicon divergences (DESIGN.md §14). The vendor
-	// manual describes what each event *should* count; the silicon modelled
-	// above deviates for the quirky ones. Recording the documented linear
-	// semantics separately is what lets the event-trust validator classify
-	// these as scaled/derived rather than valid. ---
-	for i := range events {
-		if strings.HasPrefix(events[i].Name, "FP_ARITH_INST_RETIRED:") {
-			// Documented as instruction counts — FMA once. The silicon counts
-			// FMA twice (the paper's Table V quirk), so every FMA coefficient
-			// 2 above is documented as 1.
-			keys := make([]string, 0, len(events[i].Doc))
-			for k := range events[i].Doc {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				if mat.ExactEq(events[i].Doc[k], 2) {
-					events[i].Doc[k] = 1
-				}
-			}
-		}
-		switch events[i].Name {
-		case "CPU_CLK_UNHALTED:REF_TSC":
-			// Documented as reference cycles at the TSC rate; the silicon
-			// ticks at 0.94x the core clock here.
-			events[i].Doc = map[string]float64{KeyCycles: 1}
-		case "BR_MISP_RETIRED:COND_TAKEN":
-			// Documented as all mispredicted taken conditionals; the silicon
-			// undercounts by half.
-			events[i].Doc = map[string]float64{KeyBrMisp: 1}
-		case "L2_RQSTS:ALL_DEMAND_DATA_RD":
-			// Documented as demand reads (= L1 misses); the silicon folds L1
-			// prefetcher traffic in on top.
-			events[i].Doc = map[string]float64{KeyL1Miss: 1}
-		case "OFFCORE_REQUESTS:ALL_REQUESTS":
-			// Documented as offcore requests (= L2 misses); the silicon
-			// overcounts by 10%.
-			events[i].Doc = map[string]float64{KeyL2Miss: 1}
-		}
-	}
-
-	// --- Generated filler families: the long catalog tail. Response
-	// coefficients and noise levels derive deterministically from the event
-	// name, giving the log-spread variability tail of Figure 2. Fillers are
-	// deliberately undocumented (Doc == nil): vendor manuals are famously
-	// thin for exactly this class of event. ---
-	events = append(events, sprFillerEvents()...)
-
-	cat, err := NewCatalog(events)
-	if err != nil {
-		return nil, err
-	}
-	return &Platform{
-		Name:     "spr-sim",
-		Catalog:  cat,
-		Counters: 8,
-		// The architectural events live on Intel's fixed counters; the
-		// constraint-aware scheduler keeps them out of the programmable
-		// budget, exactly like perf does on real hardware.
-		Constraints: map[string]CounterConstraint{
-			"INST_RETIRED:ANY":         {Fixed: 0},
-			"CPU_CLK_UNHALTED:THREAD":  {Fixed: 1},
-			"CPU_CLK_UNHALTED:REF_TSC": {Fixed: 2},
-			"TOPDOWN:SLOTS":            {Fixed: 3},
-		},
-	}, nil
-}
-
-func fpVectorTerms() map[string]float64 {
-	terms := make(map[string]float64)
-	for _, p := range []string{"sp", "dp"} {
-		for _, w := range []string{"128", "256", "512"} {
-			terms[FPKey(p, w, false)] = 1
-			terms[FPKey(p, w, true)] = 2
-		}
-	}
-	return terms
-}
-
-// linearResponse returns a response function computing a fixed linear
-// combination of ground-truth stats. The terms are frozen into key-sorted
-// order at construction: float addition is order-sensitive at the ulp
-// level, so summing in map iteration order would make event readings — and
-// therefore reports — differ between identical runs. Sorted-slice iteration
-// is also cheaper per evaluation than walking the map.
-func linearResponse(terms map[string]float64) func(Stats) float64 {
-	keys := make([]string, 0, len(terms))
-	for k := range terms {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	coeffs := make([]float64, len(keys))
-	for i, k := range keys {
-		coeffs[i] = terms[k]
-	}
-	return func(s Stats) float64 {
-		var v float64
-		for i, k := range keys {
-			v += coeffs[i] * s.Get(k)
-		}
-		return v
-	}
-}
-
-// sprFillerEvents generates the pipeline/frontend/TLB/offcore event families
-// that make up the bulk of a real CPU catalog. Each family has a base set of
-// ground-truth drivers; per-event coefficients and noise sigmas are derived
-// from the name hash, log-spread across the noisy band.
-func sprFillerEvents() []EventDef {
-	type family struct {
-		prefix   string
-		suffixes []string
-		drivers  []string // stat keys the family responds to
-		noiseLo  float64
-		noiseHi  float64
-	}
-	families := []family{
-		{"UOPS_DISPATCHED", nums("PORT_", 12), []string{KeyInstr}, 1e-6, 1e-3},
-		{"IDQ", []string{"MITE_UOPS", "DSB_UOPS", "MS_UOPS", "MITE_CYCLES_ANY", "DSB_CYCLES_ANY", "MS_SWITCHES"}, []string{KeyInstr, KeyCycles}, 1e-5, 1e-2},
-		{"CYCLE_ACTIVITY", []string{"STALLS_TOTAL", "STALLS_MEM_ANY", "STALLS_L1D_MISS", "STALLS_L2_MISS", "STALLS_L3_MISS", "CYCLES_MEM_ANY", "CYCLES_L1D_MISS"}, []string{KeyCycles, KeyL1Miss, KeyL2Miss}, 1e-4, 1e-1},
-		{"EXE_ACTIVITY", []string{"1_PORTS_UTIL", "2_PORTS_UTIL", "3_PORTS_UTIL", "4_PORTS_UTIL", "BOUND_ON_LOADS", "BOUND_ON_STORES"}, []string{KeyCycles}, 1e-4, 1e-1},
-		{"RESOURCE_STALLS", []string{"SB", "ANY", "SCOREBOARD"}, []string{KeyCycles}, 1e-3, 1e-1},
-		{"FRONTEND_RETIRED", []string{"DSB_MISS", "ITLB_MISS", "L1I_MISS", "L2_MISS", "LATENCY_GE_2", "LATENCY_GE_8", "LATENCY_GE_32"}, []string{KeyInstr}, 1e-7, 1e-4},
-		{"DTLB_LOAD_MISSES", []string{"MISS_CAUSES_A_WALK", "WALK_COMPLETED", "WALK_COMPLETED_4K", "WALK_COMPLETED_2M_4M", "WALK_PENDING", "STLB_HIT"}, []string{KeyWalks, KeyDTLBMiss}, 1e-3, 1e0},
-		{"DTLB_STORE_MISSES", []string{"MISS_CAUSES_A_WALK", "WALK_COMPLETED", "STLB_HIT"}, []string{KeyStores}, 1e-3, 1e0},
-		{"ITLB_MISSES", []string{"MISS_CAUSES_A_WALK", "WALK_COMPLETED", "STLB_HIT"}, nil, 0, 0},
-		{"MEM_LOAD_L3_HIT_RETIRED", []string{"XSNP_MISS", "XSNP_NO_FWD", "XSNP_FWD", "XSNP_NONE"}, []string{KeyL3Hit}, 1e-2, 1e0},
-		{"MEM_LOAD_L3_MISS_RETIRED", []string{"LOCAL_DRAM", "REMOTE_DRAM", "REMOTE_HITM", "REMOTE_FWD"}, []string{KeyL3Miss}, 1e-2, 1e0},
-		{"MEM_TRANS_RETIRED", []string{"LOAD_LATENCY_GT_4", "LOAD_LATENCY_GT_8", "LOAD_LATENCY_GT_16", "LOAD_LATENCY_GT_32", "LOAD_LATENCY_GT_64", "LOAD_LATENCY_GT_128", "LOAD_LATENCY_GT_256", "LOAD_LATENCY_GT_512"}, []string{KeyL1Miss, KeyL3Miss}, 1e-2, 1e0},
-		{"OCR.DEMAND_DATA_RD", []string{"L3_HIT", "L3_HIT.SNOOP_HITM", "L3_MISS", "DRAM", "LOCAL_DRAM", "SNC_DRAM", "PMM", "ANY_RESPONSE"}, []string{KeyL2Miss, KeyL3Miss}, 1e-3, 1e0},
-		{"OCR.DEMAND_RFO", []string{"L3_HIT", "L3_MISS", "DRAM", "ANY_RESPONSE"}, nil, 0, 0},
-		{"OCR.HWPF_L2_DATA_RD", []string{"L3_HIT", "L3_MISS", "DRAM", "ANY_RESPONSE"}, []string{KeyAccess}, 1e-1, 1e1},
-		{"OCR.HWPF_L3", []string{"L3_HIT", "L3_MISS", "ANY_RESPONSE"}, []string{KeyAccess}, 1e-1, 1e1},
-		{"XQ", []string{"FULL_CYCLES", "PROMOTION"}, []string{KeyL2Miss}, 1e-2, 1e0},
-		{"SW_PREFETCH_ACCESS", []string{"T0", "T1_T2", "NTA", "PREFETCHW"}, nil, 0, 0},
-		{"LOCK_CYCLES", []string{"CACHE_LOCK_DURATION"}, nil, 0, 0},
-		{"LD_BLOCKS", []string{"STORE_FORWARD", "NO_SR", "ADDRESS_ALIAS"}, []string{KeyLoads}, 1e-2, 1e1},
-		{"MACHINE_CLEARS", []string{"COUNT", "MEMORY_ORDERING", "SMC", "DISAMBIGUATION"}, nil, 0, 0},
-		{"MISC_RETIRED", []string{"LBR_INSERTS", "PAUSE_INST"}, nil, 0, 0},
-		{"CORE_POWER", []string{"LICENSE_1", "LICENSE_2", "LICENSE_3"}, []string{KeyCycles}, 1e-3, 1e-1},
-		{"PM_THROTTLE", nums("LEVEL_", 4), []string{KeyCycles}, 1e-2, 1e0},
-		{"DECODE", []string{"LCP", "MS_BUSY"}, []string{KeyInstr}, 1e-5, 1e-2},
-		{"BACLEARS", []string{"ANY"}, []string{KeyBrMisp}, 1e-4, 1e-1},
-		{"INT_MISC", []string{"RECOVERY_CYCLES", "CLEAR_RESTEER_CYCLES", "UOP_DROPPING", "UNKNOWN_BRANCH_CYCLES"}, []string{KeyBrMisp, KeyCycles}, 1e-4, 1e-1},
-		{"MEMORY_ACTIVITY", []string{"STALLS_L1D_MISS", "STALLS_L2_MISS", "STALLS_L3_MISS", "CYCLES_L1D_MISS"}, []string{KeyL1Miss, KeyCycles}, 1e-3, 1e-1},
-		{"UNC_CHA_TOR_INSERTS", nums("CHA_", 28), []string{KeyL3Miss}, 1e-2, 1e1},
-		{"UNC_CHA_TOR_OCCUPANCY", nums("CHA_", 28), []string{KeyL3Miss, KeyCycles}, 1e-2, 1e1},
-		{"UNC_CHA_CLOCKTICKS", nums("CHA_", 28), []string{KeyCycles}, 1e-3, 1e0},
-		{"UNC_M_CAS_COUNT", append(nums("RD_CH", 8), nums("WR_CH", 8)...), []string{KeyMemAcc}, 1e-2, 1e1},
-		{"UNC_M_CLOCKTICKS", nums("CH", 8), []string{KeyCycles}, 1e-3, 1e0},
-		{"UNC_UPI_TXL_FLITS", nums("LINK_", 4), nil, 0, 0},
-		{"UNC_IIO_DATA_REQ_OF_CPU", nums("PART_", 12), nil, 0, 0},
-		{"PCIE_BW", []string{"RD", "WR"}, nil, 0, 0},
-		{"PERF_METRICS", []string{"RETIRING", "BAD_SPECULATION", "FRONTEND_BOUND", "BACKEND_BOUND", "HEAVY_OPERATIONS", "BRANCH_MISPREDICTS", "FETCH_LATENCY", "MEMORY_BOUND"}, []string{KeyCycles, KeyInstr}, 1e-4, 1e-1},
-		{"L1D", []string{"REPLACEMENT", "HWPF_MISS"}, []string{KeyL1Miss}, 1e-2, 1e0},
-		{"L1D_PEND_MISS", []string{"PENDING", "PENDING_CYCLES", "FB_FULL", "L2_STALLS"}, []string{KeyL1Miss, KeyCycles}, 1e-2, 1e0},
-		{"ICACHE_DATA", []string{"STALLS", "STALL_PERIODS"}, []string{KeyInstr}, 1e-4, 1e-1},
-		{"ICACHE_TAG", []string{"STALLS"}, []string{KeyInstr}, 1e-4, 1e-1},
-		{"STORE_FWD_BLK", nums("CASE_", 4), nil, 0, 0},
-		{"AMX_OPS_RETIRED", []string{"INT8", "BF16"}, nil, 0, 0},
-		{"SERIALIZATION", []string{"C01_MS_SCB", "NON_C01_MS_SCB"}, []string{KeyCycles}, 1e-3, 1e-1},
-	}
-	var events []EventDef
-	for _, fam := range families {
-		for _, suffix := range fam.suffixes {
-			name := fam.prefix + ":" + suffix
-			if strings.HasPrefix(fam.prefix, "OCR.") {
-				name = fam.prefix + "." + suffix
-			}
-			h := nameHash(name)
-			def := EventDef{Name: name, Desc: "generated filler event"}
-			if len(fam.drivers) == 0 {
-				// Responds to nothing this machine's CAT benchmarks
-				// exercise: all-zero, discarded as irrelevant.
-				def.Respond = linearResponse(nil)
-			} else {
-				terms := make(map[string]float64, len(fam.drivers))
-				for di, d := range fam.drivers {
-					// Stable pseudo-random coefficient in [0.05, 2.05).
-					c := 0.05 + 2*float64((h>>(8*uint(di)))&0xff)/256
-					terms[d] = c
-				}
-				def.Respond = linearResponse(terms)
-				def.RelNoise = spreadNoise(h, fam.noiseLo, fam.noiseHi)
-			}
-			events = append(events, def)
-		}
-	}
-	return events
-}
-
-// nums returns prefixed numbered suffixes: nums("PORT_", 3) = PORT_0..PORT_2.
-func nums(prefix string, n int) []string {
-	out := make([]string, n)
-	for i := range out {
-		out[i] = fmt.Sprintf("%s%d", prefix, i)
-	}
-	return out
+	return BuiltinPlatform("spr-sim")
 }

@@ -1,12 +1,11 @@
 package machine
 
-import "fmt"
-
-// Zen4 constructs a simulated AMD-Zen4-like CPU platform. Its defining
+// Zen4 loads a simulated AMD-Zen4-like CPU platform from its committed
+// definition file (internal/platdef/platforms/zen4-sim.pdef). Its defining
 // difference from the Sapphire-Rapids-like platform is the one the paper
 // calls out in Section III-B: "several AMD processors do not offer different
 // events for strictly single-precision, or strictly double-precision
-// instructions". The RETIRED_SSE_AVX_OPS events here count instructions of a
+// instructions". The RETIRED_SSE_AVX_OPS events count instructions of a
 // width regardless of precision (and FMA once, not twice).
 //
 // Consequences the analysis discovers on its own:
@@ -18,135 +17,5 @@ import "fmt"
 //   - precision-agnostic metrics (all FP instructions by width) compose
 //     exactly.
 func Zen4() (*Platform, error) {
-	var events []EventDef
-
-	lin := func(name, desc string, rel, abs float64, terms map[string]float64) EventDef {
-		return EventDef{
-			Name: name, Desc: desc, RelNoise: rel, AbsNoise: abs,
-			Respond: linearResponse(terms),
-			Doc:     docTerms(terms),
-		}
-	}
-
-	// --- Floating-point events: merged precision, FMA counted once. ---
-	widths := []struct{ stat, event string }{
-		{"scalar", "SCALAR"}, {"128", "128B"}, {"256", "256B"}, {"512", "512B"},
-	}
-	for _, w := range widths {
-		events = append(events, lin(
-			fmt.Sprintf("RETIRED_SSE_AVX_OPS:%s_ALL", w.event),
-			"retired SSE/AVX instructions of this width, any precision",
-			0, 0,
-			map[string]float64{
-				FPKey("sp", w.stat, false): 1,
-				FPKey("sp", w.stat, true):  1,
-				FPKey("dp", w.stat, false): 1,
-				FPKey("dp", w.stat, true):  1,
-			}))
-	}
-	// Aggregates (dependent on the width events).
-	allFP := make(map[string]float64)
-	for _, p := range []string{"sp", "dp"} {
-		for _, w := range widths {
-			allFP[FPKey(p, w.stat, false)] = 1
-			allFP[FPKey(p, w.stat, true)] = 1
-		}
-	}
-	events = append(events,
-		lin("RETIRED_SSE_AVX_OPS:ANY", "all retired SSE/AVX instructions", 0, 0, allFP),
-		lin("RETIRED_MMX_FP_INSTRUCTIONS:ALL", "legacy MMX FP instructions", 0, 0, nil),
-		lin("FP_DISPATCH_FAULTS:ALL", "FP dispatch faults", 0, 0, nil),
-	)
-
-	// --- Branch events: the Zen naming, same retired-only semantics. ---
-	events = append(events,
-		lin("EX_RET_BRN_MISP", "retired mispredicted branches", 0, 0,
-			map[string]float64{KeyBrMisp: 1}),
-		lin("EX_RET_COND", "retired conditional branches", 0, 0,
-			map[string]float64{KeyBrCR: 1}),
-		lin("EX_RET_COND_TAKEN", "retired taken conditional branches", 0, 0,
-			map[string]float64{KeyBrTaken: 1}),
-		lin("EX_RET_BRN", "all retired branches", 0, 0,
-			map[string]float64{KeyBrCR: 1, KeyBrDirect: 1}),
-		lin("EX_RET_BRN_TKN", "retired taken branches", 0, 0,
-			map[string]float64{KeyBrTaken: 1, KeyBrDirect: 1}),
-		lin("EX_RET_NEAR_RET", "retired near returns", 0, 0, nil),
-		lin("EX_RET_BRN_IND_MISP", "retired mispredicted indirect branches", 0, 0, nil),
-	)
-
-	// --- Data cache events. ---
-	events = append(events,
-		lin("LS_DC_ACCESSES", "data cache accesses", 1.0e-3, 0,
-			map[string]float64{KeyAccess: 1}),
-		lin("LS_REFILLS_FROM_SYS:LS_MABRESP_LCL_L2", "L1D refills from L2", 2.5e-3, 0,
-			map[string]float64{KeyL2Hit: 1}),
-		lin("LS_REFILLS_FROM_SYS:LS_MABRESP_LCL_CACHE", "L1D refills from L3/CCX", 3.0e-3, 0,
-			map[string]float64{KeyL3Hit: 1}),
-		lin("LS_REFILLS_FROM_SYS:LS_MABRESP_LCL_DRAM", "L1D refills from DRAM", 6.0e-3, 0,
-			map[string]float64{KeyMemAcc: 1}),
-		lin("LS_ANY_FILLS_FROM_SYS:ALL", "all L1D fills", 4.0e-3, 0,
-			map[string]float64{KeyL1Miss: 1}),
-		lin("L2_CACHE_REQ_STAT:LS_RD_BLK_C", "L2 demand misses", 7.0e-3, 0,
-			map[string]float64{KeyL2Miss: 1}),
-		lin("L2_CACHE_REQ_STAT:LS_RD_BLK_CS", "L2 demand hits", 3.5e-3, 0,
-			map[string]float64{KeyL2Hit: 1}),
-		lin("L3_CACHE_ACCESSES", "L3 accesses", 1.0e-2, 0,
-			map[string]float64{KeyL2Miss: 1}),
-		lin("L3_MISSES", "L3 misses", 1.2e-2, 0,
-			map[string]float64{KeyL3Miss: 1}),
-	)
-
-	// --- Cycles / retirement (noisy, above tau). ---
-	events = append(events,
-		lin("CYCLES_NOT_IN_HALT", "core cycles", 2.0e-4, 0,
-			map[string]float64{KeyCycles: 1}),
-		lin("APERF", "actual performance clock", 3.0e-4, 0,
-			map[string]float64{KeyCycles: 1.02}),
-		lin("EX_RET_INSTR", "retired instructions", 6.0e-8, 0,
-			map[string]float64{KeyInstr: 1}),
-		lin("EX_RET_OPS", "retired macro-ops", 4.0e-6, 0,
-			map[string]float64{KeyInstr: 1.09}),
-	)
-
-	// A modest filler tail (Zen PMU catalogs are smaller than Intel's).
-	type family struct {
-		prefix   string
-		suffixes []string
-		drivers  []string
-		noiseLo  float64
-		noiseHi  float64
-	}
-	families := []family{
-		{"DE_DIS_DISPATCH_TOKEN_STALLS", nums("TOKEN_", 8), []string{KeyCycles}, 1e-4, 1e-1},
-		{"LS_MAB_ALLOC", []string{"LOADS", "STORES", "HW_PF"}, []string{KeyL1Miss}, 1e-2, 1e0},
-		{"LS_L1_D_TLB_MISS", []string{"4K", "2M", "1G", "ALL"}, []string{KeyMemAcc}, 1e-3, 1e0},
-		{"BP_L1_TLB_FETCH_HIT", []string{"IF4K", "IF2M"}, nil, 0, 0},
-		{"IC_TAG_HIT_MISS", []string{"HIT", "MISS", "ALL"}, []string{KeyInstr}, 1e-5, 1e-2},
-		{"L2_PF_HIT_L2", nums("PF_", 4), []string{KeyAccess}, 1e-1, 1e1},
-		{"UMC_CAS", append(nums("RD_CH", 4), nums("WR_CH", 4)...), []string{KeyMemAcc}, 1e-2, 1e1},
-	}
-	for _, fam := range families {
-		for _, suffix := range fam.suffixes {
-			name := fam.prefix + ":" + suffix
-			h := nameHash(name)
-			def := EventDef{Name: name, Desc: "generated filler event"}
-			if len(fam.drivers) == 0 {
-				def.Respond = linearResponse(nil)
-			} else {
-				terms := make(map[string]float64, len(fam.drivers))
-				for di, d := range fam.drivers {
-					terms[d] = 0.05 + 2*float64((h>>(8*uint(di)))&0xff)/256
-				}
-				def.Respond = linearResponse(terms)
-				def.RelNoise = spreadNoise(h, fam.noiseLo, fam.noiseHi)
-			}
-			events = append(events, def)
-		}
-	}
-
-	cat, err := NewCatalog(events)
-	if err != nil {
-		return nil, err
-	}
-	return &Platform{Name: "zen4-sim", Catalog: cat, Counters: 6}, nil
+	return BuiltinPlatform("zen4-sim")
 }

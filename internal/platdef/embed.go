@@ -1,0 +1,80 @@
+package platdef
+
+import (
+	"embed"
+	"fmt"
+	"sync"
+)
+
+//go:embed platforms/*.pdef
+var builtinFS embed.FS
+
+// builtinOrder is the canonical listing order of the committed platforms:
+// the paper's three seed platforms first, then the expansion set.
+var builtinOrder = []string{
+	"spr-sim",
+	"mi250x-sim",
+	"zen4-sim",
+	"icl-sim",
+	"graviton-sim",
+	"h100-sim",
+	"spr-smtoff-sim",
+}
+
+// BuiltinNames returns the names of the committed built-in platforms in
+// canonical listing order.
+func BuiltinNames() []string {
+	return append([]string(nil), builtinOrder...)
+}
+
+var (
+	builtinOnce sync.Once
+	builtinDefs map[string]*Platform
+	builtinErr  error
+)
+
+func loadBuiltins() {
+	builtinDefs = make(map[string]*Platform, len(builtinOrder))
+	for _, name := range builtinOrder {
+		data, err := builtinFS.ReadFile("platforms/" + name + ".pdef")
+		if err != nil {
+			builtinErr = fmt.Errorf("platdef: %w", err)
+			return
+		}
+		def, err := Parse(data)
+		if err != nil {
+			builtinErr = fmt.Errorf("builtin %s: %w", name, err)
+			return
+		}
+		if def.Name != name {
+			builtinErr = fmt.Errorf("platdef: builtin file %s.pdef defines platform %q", name, def.Name)
+			return
+		}
+		builtinDefs[name] = def
+	}
+}
+
+// Builtin returns the committed definition of a built-in platform by exact
+// name. The returned value is shared and must be treated as read-only.
+func Builtin(name string) (*Platform, error) {
+	builtinOnce.Do(loadBuiltins)
+	if builtinErr != nil {
+		return nil, builtinErr
+	}
+	def, ok := builtinDefs[name]
+	if !ok {
+		return nil, fmt.Errorf("platdef: no builtin platform %q", name)
+	}
+	return def, nil
+}
+
+// BuiltinBytes returns the committed canonical bytes of a built-in
+// platform's definition file — what the canonical-drift tests and
+// cmd/verify compare regenerated definitions against.
+func BuiltinBytes(name string) ([]byte, error) {
+	data, err := builtinFS.ReadFile("platforms/" + name + ".pdef")
+	if err != nil {
+		return nil, fmt.Errorf("platdef: %w", err)
+	}
+	return data, nil
+}

@@ -1,0 +1,41 @@
+package platdef
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ParseJSON decodes and validates one platform definition in the JSON form.
+// Unknown fields are rejected — a misspelled field silently loading as the
+// zero value is exactly the class of mistake a strict loader exists to
+// catch. Failures are *Error values (without line information).
+func ParseJSON(data []byte) (*Platform, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	p := &Platform{}
+	if err := dec.Decode(p); err != nil {
+		return nil, errf(0, "bad JSON: %v", err)
+	}
+	// A second document after the first is garbage, not a platform.
+	if dec.More() {
+		return nil, errf(0, "trailing data after the JSON document")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CanonicalJSON renders the definition as canonical indented JSON with a
+// trailing newline — the same conventions the serving tier uses for every
+// envelope. Like Canonical, equal values produce equal bytes.
+func (p *Platform) CanonicalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return nil, fmt.Errorf("platdef: encode %s: %w", p.Name, err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,62 @@
+package platdef
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFile parses one definition file. Files ending in .json use the JSON
+// codec; everything else (conventionally .pdef) uses the text codec.
+func LoadFile(path string) (*Platform, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("platdef: %w", err)
+	}
+	var p *Platform
+	if strings.HasSuffix(path, ".json") {
+		p, err = ParseJSON(data)
+	} else {
+		p, err = Parse(data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// LoadDir loads every *.pdef and *.json definition in a directory, in
+// file-name order, rejecting two files that define the same platform name.
+// It is the implementation behind the CLIs' -platform-dir flag.
+func LoadDir(dir string) ([]*Platform, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("platdef: %w", err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(ent.Name(), ".pdef") || strings.HasSuffix(ent.Name(), ".json") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Platform
+	seen := make(map[string]string, len(names))
+	for _, name := range names {
+		p, err := LoadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if first, dup := seen[p.Name]; dup {
+			return nil, fmt.Errorf("platdef: %s and %s both define platform %q", first, name, p.Name)
+		}
+		seen[p.Name] = name
+		out = append(out, p)
+	}
+	return out, nil
+}

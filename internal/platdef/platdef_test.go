@@ -1,0 +1,348 @@
+package platdef
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(dir, name, content string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}
+
+const tinyDef = `platdef v1
+
+platform tiny-sim
+class cpu
+counters 4
+fixed CYCLES 1
+allowed LOADS 0,2
+
+event CYCLES
+  desc core clock cycles
+  noise 0.0001 0
+  respond cpu.cycles=1
+  doc cpu.cycles=1
+
+event LOADS
+  desc retired loads
+  respond cpu.loads=1
+
+event DEAD
+  desc responds to nothing
+  doc
+`
+
+func parseTiny(t *testing.T) *Platform {
+	t.Helper()
+	p, err := Parse([]byte(tinyDef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestParseCanonicalFixpoint: parse -> canonicalize -> parse is a fixpoint,
+// and canonicalize is idempotent from the first application.
+func TestParseCanonicalFixpoint(t *testing.T) {
+	p := parseTiny(t)
+	c1 := p.Canonical()
+	p2, err := Parse(c1)
+	if err != nil {
+		t.Fatalf("canonical form failed to parse: %v\n%s", err, c1)
+	}
+	c2 := p2.Canonical()
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonicalize not a fixpoint:\n--- first\n%s\n--- second\n%s", c1, c2)
+	}
+}
+
+// TestPermutationsLoadIdentically: reordering directives, term order,
+// whitespace and comments must not change the loaded platform.
+func TestPermutationsLoadIdentically(t *testing.T) {
+	want := parseTiny(t).Canonical()
+	variants := map[string]string{
+		"reordered directives": `platdef v1
+counters 4
+allowed LOADS 0,2
+platform tiny-sim
+fixed CYCLES 1
+class cpu
+
+event CYCLES
+  doc cpu.cycles=1
+  respond cpu.cycles=1
+  noise 0.0001 0
+  desc core clock cycles
+
+event LOADS
+  respond cpu.loads=1
+  desc retired loads
+
+event DEAD
+  doc
+  desc responds to nothing
+`,
+		"noisy whitespace and comments": `
+# platform definition
+platdef v1
+
+
+platform    tiny-sim
+class cpu
+counters 4
+  fixed CYCLES 1
+allowed LOADS 0, 2
+
+# clocks
+event CYCLES
+	desc core clock cycles
+	noise 1e-4 0.0
+	respond cpu.cycles=1.0
+	doc cpu.cycles=1.0
+
+event LOADS
+  desc retired loads
+  respond cpu.loads=1
+event DEAD
+  desc responds to nothing
+  doc
+`,
+		"terms out of order": `platdef v1
+platform tiny-sim
+class cpu
+counters 4
+fixed CYCLES 1
+allowed LOADS 2,0
+
+event CYCLES
+  desc core clock cycles
+  noise 0.0001 0
+  respond cpu.cycles=1
+  doc cpu.cycles=1
+
+event LOADS
+  desc retired loads
+  respond cpu.loads=1
+
+event DEAD
+  desc responds to nothing
+  doc
+`,
+	}
+	for name, text := range variants {
+		t.Run(name, func(t *testing.T) {
+			p, err := Parse([]byte(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.Canonical(); !bytes.Equal(got, want) {
+				t.Fatalf("variant loads differently:\n--- got\n%s\n--- want\n%s", got, want)
+			}
+		})
+	}
+}
+
+// Term order inside one directive is semantic input in any order, canonical
+// output sorted; a multi-term event exercises that.
+func TestMultiTermSorting(t *testing.T) {
+	a := `platdef v1
+platform t-sim
+class cpu
+counters 2
+
+event E
+  respond cpu.instr=1.5 br.misp=6
+`
+	b := `platdef v1
+platform t-sim
+class cpu
+counters 2
+
+event E
+  respond br.misp=6 cpu.instr=1.5
+`
+	pa, err := Parse([]byte(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Parse([]byte(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pa.Canonical(), pb.Canonical()) {
+		t.Fatal("term order changed canonical form")
+	}
+	if pa.Events[0].Respond[0].Key != "br.misp" {
+		t.Fatalf("terms not sorted: %+v", pa.Events[0].Respond)
+	}
+}
+
+// TestCommittedFilesCanonical fails on any formatting drift in the committed
+// platform files: parsing then canonicalizing must reproduce the bytes on
+// disk exactly.
+func TestCommittedFilesCanonical(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		t.Run(name, func(t *testing.T) {
+			raw, err := BuiltinBytes(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Parse(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Name != name {
+				t.Fatalf("file %s.pdef defines %q", name, p.Name)
+			}
+			if got := p.Canonical(); !bytes.Equal(got, raw) {
+				t.Fatalf("committed %s.pdef is not canonical", name)
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := parseTiny(t)
+	js, err := p.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseJSON(js)
+	if err != nil {
+		t.Fatalf("canonical JSON failed to parse: %v\n%s", err, js)
+	}
+	if !bytes.Equal(p2.Canonical(), p.Canonical()) {
+		t.Fatal("JSON round trip changed the platform")
+	}
+	js2, err := p2.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js2, js) {
+		t.Fatal("CanonicalJSON not a fixpoint")
+	}
+	// The documented-empty vs undocumented distinction must survive JSON.
+	var dead *Event
+	for i := range p2.Events {
+		if p2.Events[i].Name == "DEAD" {
+			dead = &p2.Events[i]
+		}
+	}
+	if dead == nil || !dead.Documented {
+		t.Fatal("documented-empty event lost in JSON round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]struct {
+		text string
+		want string // substring of the error
+	}{
+		"empty":              {"", "missing"},
+		"bad header":         {"platdef v2\nplatform x\n", "first line must be"},
+		"no platform":        {"platdef v1\nclass cpu\ncounters 2\n\nevent E\n respond cpu.instr=1\n", "platform name"},
+		"bad class":          {"platdef v1\nplatform x-sim\nclass tpu\ncounters 2\n\nevent E\n respond cpu.instr=1\n", "class"},
+		"zero counters":      {"platdef v1\nplatform x-sim\nclass cpu\ncounters 0\n\nevent E\n respond cpu.instr=1\n", "counters"},
+		"huge counters":      {"platdef v1\nplatform x-sim\nclass cpu\ncounters 4096\n\nevent E\n respond cpu.instr=1\n", "counters"},
+		"no events":          {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n", "at least one event"},
+		"duplicate event":    {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n\nevent E\n respond cpu.instr=1\n\nevent E\n respond cpu.cycles=1\n", "duplicate"},
+		"nan coeff":          {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n\nevent E\n respond cpu.instr=NaN\n", "finite"},
+		"inf noise":          {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n\nevent E\n noise Inf 0\n respond cpu.instr=1\n", "finite"},
+		"negative noise":     {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n\nevent E\n noise -1 0\n respond cpu.instr=1\n", "noise"},
+		"zero coeff":         {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n\nevent E\n respond cpu.instr=0\n", "zero"},
+		"dup term":           {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n\nevent E\n respond cpu.instr=1 cpu.instr=2\n", "duplicate"},
+		"dup directive":      {"platdef v1\nplatform x-sim\nclass cpu\nclass gpu\ncounters 2\n\nevent E\n respond cpu.instr=1\n", "duplicate"},
+		"unknown directive":  {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n\nevent E\n responds cpu.instr=1\n", "unknown"},
+		"constraint unknown": {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\nfixed GHOST 0\n\nevent E\n respond cpu.instr=1\n", "unknown event"},
+		"fixed too large":    {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\nfixed E 99\n\nevent E\n respond cpu.instr=1\n", "fixed"},
+		"allowed dup slots":  {"platdef v1\nplatform x-sim\nclass cpu\ncounters 2\nallowed E 0,0\n\nevent E\n respond cpu.instr=1\n", "allowed"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.text))
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error is %T, want *platdef.Error: %v", err, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	text := "platdef v1\nplatform x-sim\nclass cpu\ncounters 2\n\nevent E\n respond cpu.instr=bogus\n"
+	_, err := Parse([]byte(text))
+	var perr *Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("error is %T: %v", err, err)
+	}
+	if perr.Line != 7 {
+		t.Fatalf("error line = %d, want 7: %v", perr.Line, err)
+	}
+	if !strings.HasPrefix(err.Error(), "platdef: line 7:") {
+		t.Fatalf("error format: %q", err.Error())
+	}
+}
+
+func TestValidateSemantics(t *testing.T) {
+	base := func() *Platform {
+		return &Platform{
+			Name: "v-sim", Class: "cpu", Counters: 4,
+			Events: []Event{{Name: "E", Respond: []Term{{Key: "cpu.instr", Coeff: 1}}}},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base platform invalid: %v", err)
+	}
+	mutations := map[string]func(*Platform){
+		"unsorted terms": func(p *Platform) {
+			p.Events[0].Respond = []Term{{Key: "z", Coeff: 1}, {Key: "a", Coeff: 1}}
+		},
+		"doc on undocumented": func(p *Platform) {
+			p.Events[0].Doc = []Term{{Key: "a", Coeff: 1}}
+		},
+		"nan abs noise":    func(p *Platform) { p.Events[0].AbsNoise = math.NaN() },
+		"linebreak desc":   func(p *Platform) { p.Events[0].Desc = "two\nlines" },
+		"padded desc":      func(p *Platform) { p.Events[0].Desc = " padded " },
+		"empty event name": func(p *Platform) { p.Events[0].Name = "" },
+		"control in name":  func(p *Platform) { p.Events[0].Name = "E\tF" },
+		"fixed with allowed": func(p *Platform) {
+			p.Constraints = []Constraint{{Event: "E", Fixed: 1, Allowed: []int{0}}}
+		},
+		"allowed out of range": func(p *Platform) {
+			p.Constraints = []Constraint{{Event: "E", Fixed: -1, Allowed: []int{9}}}
+		},
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			p := base()
+			mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("mutation should invalidate the platform")
+			}
+		})
+	}
+}
+
+func TestLoadDirDuplicateNames(t *testing.T) {
+	dir := t.TempDir()
+	def := "platdef v1\nplatform dup-sim\nclass cpu\ncounters 2\n\nevent E\n respond cpu.instr=1\n"
+	for _, f := range []string{"a.pdef", "b.pdef"} {
+		if err := writeFile(dir, f, def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "both define platform") {
+		t.Fatalf("duplicate platform names not rejected: %v", err)
+	}
+}

@@ -1,0 +1,320 @@
+package platdef
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/perfmetrics/eventlens/internal/mat"
+)
+
+// The text format (DESIGN.md §15). Line-oriented; blank lines and full-line
+// '#' comments are ignored; fields are whitespace-separated tokens except
+// the desc line, which runs to end of line. The first significant line must
+// be the version header. Platform-level directives come before the first
+// event block; each `event` line opens a block whose desc/noise/respond/doc
+// lines may appear in any order, each at most once.
+//
+//	platdef v1
+//
+//	platform spr-sim
+//	class cpu
+//	counters 8
+//	fixed INST_RETIRED:ANY 0
+//	allowed SOME_EVENT 0,1,2
+//
+//	event FP_ARITH_INST_RETIRED:SCALAR_DOUBLE
+//	desc retired FP arithmetic instructions (FMA counts twice)
+//	noise 0 0
+//	respond cpu.fp.dp.scalar=1 cpu.fp.dp.scalar.fma=2
+//	doc cpu.fp.dp.scalar=1 cpu.fp.dp.scalar.fma=1
+//
+// A missing doc line means the event is undocumented; a bare `doc` line
+// documents an event that counts nothing the benchmarks exercise. The
+// canonical form omits the noise line when both sigmas are zero and the
+// respond line when the event responds to nothing.
+
+// header is the required first significant line of every definition file.
+const header = "platdef v1"
+
+// Parse decodes and validates one platform definition in the text format.
+// Failures are *Error values carrying the offending 1-based line number.
+func Parse(data []byte) (*Platform, error) {
+	p := &Platform{}
+	var (
+		cur        *Event // event block being assembled, nil in the header
+		sawHeader  bool
+		sawName    bool
+		sawClass   bool
+		sawCount   bool
+		blockSeen  map[string]bool // directives seen in the current block
+		constraint = map[string]int{}
+	)
+	lines := strings.Split(string(data), "\n")
+	for i, raw := range lines {
+		ln := i + 1
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sawHeader {
+			if line != header {
+				return nil, errf(ln, "first line must be %q, got %q", header, line)
+			}
+			sawHeader = true
+			continue
+		}
+		fields := strings.Fields(line)
+		directive := fields[0]
+		if cur == nil {
+			switch directive {
+			case "platform":
+				if sawName {
+					return nil, errf(ln, "duplicate platform directive")
+				}
+				if len(fields) != 2 {
+					return nil, errf(ln, "platform takes exactly one name")
+				}
+				p.Name = fields[1]
+				sawName = true
+				continue
+			case "class":
+				if sawClass {
+					return nil, errf(ln, "duplicate class directive")
+				}
+				if len(fields) != 2 {
+					return nil, errf(ln, "class takes exactly one value")
+				}
+				p.Class = fields[1]
+				sawClass = true
+				continue
+			case "counters":
+				if sawCount {
+					return nil, errf(ln, "duplicate counters directive")
+				}
+				if len(fields) != 2 {
+					return nil, errf(ln, "counters takes exactly one value")
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, errf(ln, "bad counter count %q", fields[1])
+				}
+				p.Counters = n
+				sawCount = true
+				continue
+			case "fixed":
+				if len(fields) != 3 {
+					return nil, errf(ln, "fixed takes an event name and a counter index")
+				}
+				slot, err := strconv.Atoi(fields[2])
+				if err != nil || slot < 0 {
+					return nil, errf(ln, "bad fixed counter index %q", fields[2])
+				}
+				if prev, dup := constraint[fields[1]]; dup {
+					return nil, errf(ln, "duplicate constraint for event %q (first on line %d)", fields[1], prev)
+				}
+				constraint[fields[1]] = ln
+				p.Constraints = append(p.Constraints, Constraint{Event: fields[1], Fixed: slot})
+				continue
+			case "allowed":
+				if len(fields) < 3 {
+					return nil, errf(ln, "allowed takes an event name and a comma-separated counter list")
+				}
+				// Tolerate whitespace around the commas: "0, 2" and "0,2"
+				// are the same list.
+				var slots []int
+				for _, s := range strings.Split(strings.Join(fields[2:], ""), ",") {
+					slot, err := strconv.Atoi(s)
+					if err != nil {
+						return nil, errf(ln, "bad allowed counter %q", s)
+					}
+					slots = append(slots, slot)
+				}
+				sort.Ints(slots)
+				if prev, dup := constraint[fields[1]]; dup {
+					return nil, errf(ln, "duplicate constraint for event %q (first on line %d)", fields[1], prev)
+				}
+				constraint[fields[1]] = ln
+				p.Constraints = append(p.Constraints, Constraint{Event: fields[1], Fixed: -1, Allowed: slots})
+				continue
+			case "event":
+				// Falls through to the shared event-open path below.
+			default:
+				return nil, errf(ln, "unknown directive %q in platform header", directive)
+			}
+		}
+		switch directive {
+		case "event":
+			if len(fields) != 2 {
+				return nil, errf(ln, "event takes exactly one name")
+			}
+			if len(p.Events) >= MaxEvents {
+				return nil, errf(ln, "more than %d events", MaxEvents)
+			}
+			p.Events = append(p.Events, Event{Name: fields[1]})
+			cur = &p.Events[len(p.Events)-1]
+			blockSeen = map[string]bool{}
+		case "desc":
+			if blockSeen[directive] {
+				return nil, errf(ln, "duplicate desc in event %q", cur.Name)
+			}
+			blockSeen[directive] = true
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "desc"))
+			cur.Desc = rest
+		case "noise":
+			if blockSeen[directive] {
+				return nil, errf(ln, "duplicate noise in event %q", cur.Name)
+			}
+			blockSeen[directive] = true
+			if len(fields) != 3 {
+				return nil, errf(ln, "noise takes a relative and an absolute sigma")
+			}
+			rel, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, errf(ln, "bad relative noise %q", fields[1])
+			}
+			abs, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, errf(ln, "bad absolute noise %q", fields[2])
+			}
+			cur.RelNoise, cur.AbsNoise = rel, abs
+		case "respond":
+			if blockSeen[directive] {
+				return nil, errf(ln, "duplicate respond in event %q", cur.Name)
+			}
+			blockSeen[directive] = true
+			terms, err := parseTerms(ln, fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			cur.Respond = terms
+		case "doc":
+			if blockSeen[directive] {
+				return nil, errf(ln, "duplicate doc in event %q", cur.Name)
+			}
+			blockSeen[directive] = true
+			terms, err := parseTerms(ln, fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			cur.Documented = true
+			cur.Doc = terms
+		default:
+			return nil, errf(ln, "unknown directive %q in event %q", directive, cur.Name)
+		}
+	}
+	if !sawHeader {
+		return nil, errf(len(lines), "missing %q header", header)
+	}
+	// Constraint encounter order is not semantic; canonical order is by
+	// event name, which Validate requires.
+	sort.Slice(p.Constraints, func(i, j int) bool {
+		return p.Constraints[i].Event < p.Constraints[j].Event
+	})
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseTerms decodes key=value tokens into a key-sorted term list,
+// rejecting duplicate keys.
+func parseTerms(ln int, tokens []string) ([]Term, error) {
+	if len(tokens) == 0 {
+		return nil, nil
+	}
+	terms := make([]Term, 0, len(tokens))
+	for _, tok := range tokens {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok || key == "" {
+			return nil, errf(ln, "bad term %q (want key=value)", tok)
+		}
+		coeff, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, errf(ln, "bad coefficient %q for key %q", val, key)
+		}
+		terms = append(terms, Term{Key: key, Coeff: coeff})
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Key < terms[j].Key })
+	for i := 1; i < len(terms); i++ {
+		if terms[i-1].Key == terms[i].Key {
+			return nil, errf(ln, "duplicate term key %q", terms[i].Key)
+		}
+	}
+	return terms, nil
+}
+
+// Canonical renders the definition in the canonical text form: the unique
+// byte representation of its value. Parse(Canonical(p)) reproduces p
+// exactly, and Canonical(Parse(b)) is a fixpoint for any accepted b. The
+// receiver must be valid (Validate passes); Canonical does not re-check.
+func (p *Platform) Canonical() []byte {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteString("\n\n")
+	b.WriteString("platform ")
+	b.WriteString(p.Name)
+	b.WriteByte('\n')
+	b.WriteString("class ")
+	b.WriteString(p.Class)
+	b.WriteByte('\n')
+	b.WriteString("counters ")
+	b.WriteString(strconv.Itoa(p.Counters))
+	b.WriteByte('\n')
+	for _, c := range p.Constraints {
+		if c.Fixed >= 0 {
+			b.WriteString("fixed ")
+			b.WriteString(c.Event)
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(c.Fixed))
+		} else {
+			b.WriteString("allowed ")
+			b.WriteString(c.Event)
+			b.WriteByte(' ')
+			for i, slot := range c.Allowed {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(slot))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for i := range p.Events {
+		e := &p.Events[i]
+		b.WriteString("\nevent ")
+		b.WriteString(e.Name)
+		b.WriteByte('\n')
+		if e.Desc != "" {
+			b.WriteString("desc ")
+			b.WriteString(e.Desc)
+			b.WriteByte('\n')
+		}
+		if !mat.IsZero(e.RelNoise) || !mat.IsZero(e.AbsNoise) {
+			b.WriteString("noise ")
+			b.WriteString(formatFloat(e.RelNoise))
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(e.AbsNoise))
+			b.WriteByte('\n')
+		}
+		if len(e.Respond) > 0 {
+			b.WriteString("respond")
+			writeTerms(&b, e.Respond)
+		}
+		if e.Documented {
+			b.WriteString("doc")
+			writeTerms(&b, e.Doc)
+		}
+	}
+	return []byte(b.String())
+}
+
+func writeTerms(b *strings.Builder, terms []Term) {
+	for _, t := range terms {
+		b.WriteByte(' ')
+		b.WriteString(t.Key)
+		b.WriteByte('=')
+		b.WriteString(formatFloat(t.Coeff))
+	}
+	b.WriteByte('\n')
+}

@@ -13,7 +13,7 @@ import (
 	"github.com/perfmetrics/eventlens/internal/cat"
 	"github.com/perfmetrics/eventlens/internal/core"
 	"github.com/perfmetrics/eventlens/internal/fault"
-	"github.com/perfmetrics/eventlens/internal/machine"
+	"github.com/perfmetrics/eventlens/internal/matrix"
 	"github.com/perfmetrics/eventlens/internal/suite"
 	"github.com/perfmetrics/eventlens/internal/validate"
 )
@@ -60,7 +60,7 @@ func errStatus(err error) int {
 	// are the daemon degrading itself, not a client or server bug: 503 so
 	// clients retry, matching the chaos contract of never answering 500 to a
 	// well-formed request under injection.
-	if errors.Is(err, validate.ErrAllDegraded) {
+	if errors.Is(err, validate.ErrAllDegraded) || errors.Is(err, matrix.ErrAllDegraded) {
 		return http.StatusServiceUnavailable
 	}
 	if _, ok := fault.As(err); ok {
@@ -584,6 +584,90 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	writeBody(w, http.StatusOK, payload)
 }
 
+// ---- Composability matrix ---------------------------------------------
+
+// matrixKey is the canonical cache/store/shard key of one composability
+// matrix: the request's own canonical key (platform and benchmark aliases
+// resolved, worker counts excluded) under the endpoint's prefix.
+func (s *Server) matrixKey(req matrix.Request) (string, error) {
+	k, err := req.Key(s.platforms)
+	if err != nil {
+		return "", httpError{http.StatusBadRequest, err.Error()}
+	}
+	return "matrix|" + k, nil
+}
+
+// matrixFor returns the canonical matrix envelope for a request through the
+// same ladder as analyses and validations: in-memory cache (with
+// singleflight), then the persistent store, then computation — publishing
+// fresh results back to the store. The matrix is deterministic (worker
+// counts never change its bytes), so equal keys mean equal bytes everywhere.
+func (s *Server) matrixFor(ctx context.Context, req matrix.Request, gated bool) ([]byte, string, error) {
+	key, err := s.matrixKey(req)
+	if err != nil {
+		return nil, "", err
+	}
+	src := srcHit
+	v, _, err := s.cache.do(ctx, key, func() (any, error) {
+		if payload, ok := s.storeGet(key); ok {
+			src = srcDisk
+			return payload, nil
+		}
+		src = srcMiss
+		if gated {
+			release, err := s.admitSync()
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+		}
+		if req.Workers == 0 {
+			req.Workers = s.cfg.PipelineWorkers
+		}
+		start := time.Now()
+		report, err := matrix.Run(ctx, s.platforms, req)
+		if err != nil {
+			return nil, err
+		}
+		s.matrixRuns.Inc()
+		s.matrixCells.Add(uint64(report.Total))
+		s.pipelineSeconds.Observe(time.Since(start).Seconds())
+		payload := matrix.NewEnvelope(report).CanonicalJSON()
+		s.storePut(key, payload)
+		return payload, nil
+	})
+	if err != nil {
+		return nil, src, err
+	}
+	return v.([]byte), src, nil
+}
+
+// handleMatrix serves /v1/matrix: the cross-architecture composability
+// matrix over the registered platforms, byte-identical to
+// `figures -fig matrix -json` for the same request. Requests carrying a
+// fault spec degrade like the CLI — pairs losing their collection are
+// listed in the report — and only a matrix losing every pair fails (as 503,
+// never 500).
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req matrix.Request
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.ring != nil && r.Header.Get(peerHeader) == "" {
+		if s.maybeForwardMatrix(w, r, req) {
+			return
+		}
+	}
+	payload, src, err := s.matrixFor(r.Context(), req, true)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("X-Eventlens-Cache", src)
+	writeBody(w, http.StatusOK, payload)
+}
+
 // defineRequest solves one signature — either a named one from the
 // benchmark's table or a custom coefficient vector — against the cached
 // analysis.
@@ -770,26 +854,29 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 
 type platformJSON struct {
 	Name        string `json:"name"`
+	Class       string `json:"class"`
 	Events      int    `json:"events"`
 	Counters    int    `json:"counters"`
 	Constrained bool   `json:"constrained"`
 }
 
+// handlePlatforms lists every platform in the daemon's registry — the
+// built-ins plus anything loaded from Config.PlatformDir — straight from
+// the definitions, without instantiating live platforms.
 func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 	var out []platformJSON
-	for _, mk := range []func() (*machine.Platform, error){
-		machine.SapphireRapids, machine.MI250X, machine.Zen4,
-	} {
-		p, err := mk()
+	for _, name := range s.platforms.Names() {
+		def, err := s.platforms.Def(name)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
 		out = append(out, platformJSON{
-			Name:        p.Name,
-			Events:      p.Catalog.Len(),
-			Counters:    p.Counters,
-			Constrained: len(p.Constraints) > 0,
+			Name:        def.Name,
+			Class:       def.Class,
+			Events:      len(def.Events),
+			Counters:    def.Counters,
+			Constrained: len(def.Constraints) > 0,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"platforms": out})

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/perfmetrics/eventlens/internal/fault"
+	"github.com/perfmetrics/eventlens/internal/machine"
 	"github.com/perfmetrics/eventlens/internal/obs"
 	"github.com/perfmetrics/eventlens/internal/shard"
 	"github.com/perfmetrics/eventlens/internal/store"
@@ -65,6 +66,12 @@ type Config struct {
 	// RetryBase is the base delay of the job retry backoff (exponential,
 	// seeded jitter). Defaults to 10ms.
 	RetryBase time.Duration
+	// PlatformDir loads extra platform definitions (platdef text files,
+	// *.pdef) into the daemon's platform registry at startup. Definitions
+	// whose names match built-in platforms override them; new names extend
+	// the registry. The registry drives /v1/platforms and /v1/matrix. Empty
+	// serves the built-in platforms only.
+	PlatformDir string
 	// StoreDir enables the persistent, content-addressed result store: every
 	// computed analysis response is published there (atomic write-rename,
 	// checksummed), and cache misses consult it before recomputing, so the
@@ -190,6 +197,10 @@ type Server struct {
 	sets  *setCache
 	jobs  *jobManager
 
+	// platforms is the daemon's platform registry: the built-in platforms,
+	// extended by Config.PlatformDir. Built once in New and read-only after.
+	platforms *machine.Registry
+
 	// store is the persistent result store (nil when Config.StoreDir is
 	// empty); ring and self describe this replica's place in the serving
 	// tier (ring nil when the tier is this single replica).
@@ -236,6 +247,8 @@ type Server struct {
 	validateVerdicts *obs.CounterVec
 	minimalRuns      *obs.Counter
 	minimalPruned    *obs.Counter
+	matrixRuns       *obs.Counter
+	matrixCells      *obs.Counter
 
 	addrMu    sync.Mutex
 	boundAddr net.Addr
@@ -258,6 +271,16 @@ func New(cfg Config) (*Server, error) {
 		syncSem:    make(chan struct{}, cfg.MaxSyncCompute),
 		ready:      make(chan struct{}),
 	}
+	platforms, err := machine.NewRegistry()
+	if err != nil {
+		return nil, fmt.Errorf("server: loading built-in platforms: %w", err)
+	}
+	if cfg.PlatformDir != "" {
+		if _, err := platforms.LoadDir(cfg.PlatformDir); err != nil {
+			return nil, fmt.Errorf("server: loading platform dir: %w", err)
+		}
+	}
+	s.platforms = platforms
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
@@ -339,6 +362,10 @@ func New(cfg Config) (*Server, error) {
 		"Collection passes that ran with minimal spanning kernel selection.")
 	s.minimalPruned = reg.Counter("eventlensd_minimal_kernels_pruned_total",
 		"Kernel points skipped by minimal spanning selection, summed over collections.")
+	s.matrixRuns = reg.Counter("eventlensd_matrix_runs_total",
+		"Composability-matrix computations executed (cache and store hits excluded).")
+	s.matrixCells = reg.Counter("eventlensd_matrix_cells_total",
+		"Composability-matrix cells produced by matrix computations.")
 	reg.GaugeFunc("eventlensd_store_entries",
 		"Entries currently in the persistent result store.", func() int64 {
 			if s.store == nil {
@@ -361,6 +388,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/events/validate", s.handleValidate)
+	mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
 	mux.HandleFunc("POST /v1/metrics/define", s.handleDefine)
 	mux.HandleFunc("POST /v1/events/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/presets/{benchmark}", s.handlePresets)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"github.com/perfmetrics/eventlens/internal/fault"
+	"github.com/perfmetrics/eventlens/internal/matrix"
 	"github.com/perfmetrics/eventlens/internal/validate"
 )
 
@@ -35,6 +36,16 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, req analyz
 // a tier shards validation work exactly like analysis work.
 func (s *Server) maybeForwardValidate(w http.ResponseWriter, r *http.Request, req validate.Request) bool {
 	key, err := validateKey(req)
+	if err != nil {
+		return false
+	}
+	return s.forwardToOwner(w, r, r.URL.Path, key, req)
+}
+
+// maybeForwardMatrix is maybeForward for /v1/matrix: matrices ride the same
+// ring as analyses and validations, hashed by their prefixed canonical key.
+func (s *Server) maybeForwardMatrix(w http.ResponseWriter, r *http.Request, req matrix.Request) bool {
+	key, err := s.matrixKey(req)
 	if err != nil {
 		return false
 	}

@@ -25,7 +25,12 @@ type Benchmark struct {
 	MetricTable    string
 	// Figure is the paper's variability figure for this benchmark (2a-2d).
 	Figure string
-	// NewPlatform constructs the simulated machine.
+	// Class is the platform class this benchmark's kernels drive: "cpu" or
+	// "gpu". The composability matrix only pairs a benchmark with platforms
+	// of its class — a CPU kernel reads all-zero events on a GPU catalog.
+	Class string
+	// NewPlatform constructs the default simulated machine (the platform
+	// the paper ran this benchmark on).
 	NewPlatform func() (*machine.Platform, error)
 	// Basis constructs the expectation basis.
 	Basis func() (*core.Basis, error)
@@ -56,6 +61,7 @@ func All() []Benchmark {
 			SignatureTable: "I",
 			MetricTable:    "V",
 			Figure:         "2b",
+			Class:          "cpu",
 			NewPlatform:    machine.SapphireRapids,
 			Basis:          func() (*core.Basis, error) { return cat.NewFlopsCPU().Basis() },
 			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
@@ -75,6 +81,7 @@ func All() []Benchmark {
 			SignatureTable: "II",
 			MetricTable:    "VI",
 			Figure:         "2c",
+			Class:          "gpu",
 			NewPlatform:    machine.MI250X,
 			Basis:          func() (*core.Basis, error) { return cat.NewFlopsGPU().Basis() },
 			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
@@ -98,6 +105,7 @@ func All() []Benchmark {
 			SignatureTable: "III",
 			MetricTable:    "VII",
 			Figure:         "2a",
+			Class:          "cpu",
 			NewPlatform:    machine.SapphireRapids,
 			Basis:          func() (*core.Basis, error) { return cat.NewBranch().Basis() },
 			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
@@ -121,6 +129,7 @@ func All() []Benchmark {
 			SignatureTable: "IV",
 			MetricTable:    "VIII",
 			Figure:         "2d",
+			Class:          "cpu",
 			NewPlatform:    machine.SapphireRapids,
 			Basis:          func() (*core.Basis, error) { return cat.NewDCache().Basis() },
 			Run: func(p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
@@ -194,6 +203,19 @@ func (b Benchmark) Collect(ctx context.Context, cfg cat.RunConfig) (*core.Measur
 		return nil, err
 	}
 	return b.Run(platform, cfg)
+}
+
+// CollectOn is Collect against an explicit platform instead of the
+// benchmark's default one — the cross-architecture path the composability
+// matrix takes. The platform's class must match the benchmark's.
+func (b Benchmark) CollectOn(ctx context.Context, p *machine.Platform, cfg cat.RunConfig) (*core.MeasurementSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.Class != b.Class {
+		return nil, fmt.Errorf("suite: benchmark %s drives %s platforms, %s is %s", b.Name, b.Class, p.Name, p.Class)
+	}
+	return b.Run(p, cfg)
 }
 
 // AnalyzeSet runs the analysis phase — noise filter, projection, QRCP — over

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"github.com/perfmetrics/eventlens/internal/core"
 	"github.com/perfmetrics/eventlens/internal/fault"
@@ -131,21 +132,38 @@ type Request struct {
 	Tolerances *Tolerances `json:"tolerances,omitempty"`
 }
 
-// platformAliases canonicalizes the user-facing platform spellings.
-var platformAliases = map[string]string{
-	"spr":        "spr-sim",
-	"spr-sim":    "spr-sim",
-	"mi250x":     "mi250x-sim",
-	"mi250x-sim": "mi250x-sim",
+// registry returns the package's platform registry: every committed
+// built-in platform, built once and shared. Validation covers any
+// registered platform — the ground-truth benchmarks of the platform's
+// class drive it, exactly like the composability matrix.
+func registry() (*machine.Registry, error) {
+	regOnce.Do(func() { reg, regErr = machine.NewRegistry() })
+	return reg, regErr
 }
 
-// CanonicalPlatform resolves a platform spelling to its canonical simulator
-// name, erroring on platforms the validator does not cover.
+var (
+	regOnce sync.Once
+	reg     *machine.Registry
+	regErr  error
+)
+
+// CanonicalPlatform resolves a platform spelling (full name or its "-sim"
+// shorthand) to the canonical simulator name, erroring on platforms the
+// registry does not hold.
 func CanonicalPlatform(name string) (string, error) {
-	if canon, ok := platformAliases[name]; ok {
-		return canon, nil
+	r, err := registry()
+	if err != nil {
+		return "", err
 	}
-	return "", fmt.Errorf("validate: unknown platform %q (have spr, mi250x)", name)
+	full, err := r.Canonical(name)
+	if err != nil {
+		short := make([]string, 0, len(r.Names()))
+		for _, n := range r.Names() {
+			short = append(short, strings.TrimSuffix(n, "-sim"))
+		}
+		return "", fmt.Errorf("validate: unknown platform %q (have %s)", name, strings.Join(short, ", "))
+	}
+	return full, nil
 }
 
 // resolved is a validated request: canonical platform, registry-ordered
@@ -181,28 +199,28 @@ func (r Request) resolve() (resolved, error) {
 	if err := tol.Validate(); err != nil {
 		return resolved{}, err
 	}
+	r2, err := registry()
+	if err != nil {
+		return resolved{}, err
+	}
+	def, err := r2.Def(platform)
+	if err != nil {
+		return resolved{}, err
+	}
 	requested := make(map[string]bool, len(r.Benchmarks))
 	for _, name := range r.Benchmarks {
 		b, err := suite.ByName(name)
 		if err != nil {
 			return resolved{}, err
 		}
-		p, err := b.NewPlatform()
-		if err != nil {
-			return resolved{}, err
-		}
-		if p.Name != platform {
-			return resolved{}, fmt.Errorf("validate: benchmark %q runs on %s, not %s", name, p.Name, platform)
+		if b.Class != def.Class {
+			return resolved{}, fmt.Errorf("validate: benchmark %q drives %s platforms, %s is %s", name, b.Class, platform, def.Class)
 		}
 		requested[name] = true
 	}
 	var benches []suite.Benchmark
 	for _, b := range suite.All() {
-		p, err := b.NewPlatform()
-		if err != nil {
-			return resolved{}, err
-		}
-		if p.Name != platform {
+		if b.Class != def.Class {
 			continue
 		}
 		if len(requested) > 0 && !requested[b.Name] {
@@ -312,11 +330,15 @@ func Run(ctx context.Context, req Request) (*Report, error) {
 	expected := make(map[string][]float64) // concatenated documented counts
 	noise := make(map[string]float64)      // worst MaxRNMSE on any benchmark
 	covered := make(map[string]bool)       // measured on at least one benchmark
+	r, err := registry()
+	if err != nil {
+		return nil, err
+	}
 	for _, b := range res.benches {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		p, err := b.NewPlatform()
+		p, err := r.New(res.platform)
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +348,7 @@ func Run(ctx context.Context, req Request) (*Report, error) {
 		cfg := b.DefaultRun
 		cfg.Workers = res.workers
 		cfg.Faults = res.faults
-		set, err := b.Run(p, cfg)
+		set, err := b.CollectOn(ctx, p, cfg)
 		if err != nil {
 			// Under fault injection a benchmark whose collection cannot
 			// complete — a hard fault, or every event dropped — degrades

@@ -190,3 +190,45 @@ func TestClassifyTable(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryPlatforms pins the registry generalization: every committed
+// platform resolves (full name and shorthand), benchmark selection follows
+// the platform's class, and a data-only platform validates end to end.
+func TestRegistryPlatforms(t *testing.T) {
+	for _, name := range []string{"spr", "mi250x", "zen4", "icl", "graviton", "h100", "spr-smtoff"} {
+		full, err := CanonicalPlatform(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if full != name+"-sim" {
+			t.Errorf("%s resolved to %q", name, full)
+		}
+		if again, err := CanonicalPlatform(full); err != nil || again != full {
+			t.Errorf("%s not a fixpoint: %q, %v", full, again, err)
+		}
+	}
+	// Class drives benchmark selection: a cpu platform never accepts the GPU
+	// benchmark, and its key lists the three cpu benchmarks.
+	if _, err := (Request{Platform: "graviton", Benchmarks: []string{"gpu-flops"}}).Key(); err == nil {
+		t.Error("gpu benchmark keyed on a cpu platform")
+	}
+	k, err := Request{Platform: "graviton"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(k, "graviton-sim|cpu-flops,branch,dcache|") {
+		t.Errorf("graviton key = %q", k)
+	}
+	// A data-only platform validates: graviton's branch catalog is built so
+	// its documented events hold up.
+	report, err := Run(context.Background(), Request{Platform: "graviton", Benchmarks: []string{"branch"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Platform != "graviton-sim" || len(report.Events) == 0 {
+		t.Fatalf("graviton report: platform %q, %d events", report.Platform, len(report.Events))
+	}
+	if report.Counts[VerdictValid] == 0 {
+		t.Errorf("graviton branch validation found no valid events: %v", report.Counts)
+	}
+}
